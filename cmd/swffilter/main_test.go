@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gridvo/internal/swf"
+	"gridvo/internal/xrand"
+)
+
+func traceBytes(t *testing.T, jobs int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	tr := swf.GenerateAtlas(xrand.New(1), swf.GenOptions{NumJobs: jobs})
+	if err := swf.Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func filterRun(t *testing.T, input []byte, args ...string) *swf.Trace {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	if err := run(append(args, "-"), bytes.NewReader(input), &out, &errBuf); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	tr, err := swf.Parse(&out)
+	if err != nil {
+		t.Fatalf("filtered output does not parse: %v", err)
+	}
+	return tr
+}
+
+func TestFilterCompletedAndRuntime(t *testing.T) {
+	input := traceBytes(t, 600)
+	tr := filterRun(t, input, "-completed", "-min-runtime", "7200")
+	if len(tr.Jobs) == 0 {
+		t.Fatal("no large completed jobs survived")
+	}
+	for i := range tr.Jobs {
+		j := &tr.Jobs[i]
+		if !j.Completed() || j.RunTime < 7200 {
+			t.Fatalf("job %d violates filter: status=%d runtime=%v", j.JobNumber, j.Status, j.RunTime)
+		}
+	}
+	// Provenance note appended to the header.
+	found := false
+	for _, h := range tr.Header {
+		if strings.Contains(h, "filtered by swffilter") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("provenance header missing")
+	}
+}
+
+func TestFilterExactProcsAndHead(t *testing.T) {
+	input := traceBytes(t, 600)
+	tr := filterRun(t, input, "-procs", "256", "-head", "3")
+	if len(tr.Jobs) > 3 {
+		t.Fatalf("head ignored: %d jobs", len(tr.Jobs))
+	}
+	for i := range tr.Jobs {
+		if tr.Jobs[i].AllocProcs != 256 {
+			t.Fatalf("job with %d procs survived -procs 256", tr.Jobs[i].AllocProcs)
+		}
+	}
+}
+
+func TestFilterValidAndMinProcs(t *testing.T) {
+	input := traceBytes(t, 400)
+	tr := filterRun(t, input, "-valid", "-min-procs", "64")
+	for i := range tr.Jobs {
+		j := &tr.Jobs[i]
+		if j.AllocProcs < 64 || j.RunTime <= 0 || j.AvgCPUTime <= 0 {
+			t.Fatalf("invalid job survived: %+v", j)
+		}
+	}
+}
+
+func TestFilterNoFiltersKeepsAll(t *testing.T) {
+	input := traceBytes(t, 100)
+	tr := filterRun(t, input)
+	if len(tr.Jobs) != 100 {
+		t.Fatalf("no-filter run kept %d of 100", len(tr.Jobs))
+	}
+}
+
+func TestFilterErrors(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run(nil, nil, &out, &errBuf); err == nil {
+		t.Fatal("missing argument accepted")
+	}
+	if err := run([]string{"-head", "-2", "-"}, bytes.NewReader(nil), &out, &errBuf); err == nil {
+		t.Fatal("negative head accepted")
+	}
+	if err := run([]string{"/no/such.swf"}, nil, &out, &errBuf); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := run([]string{"-"}, strings.NewReader("garbage\n"), &out, &errBuf); err == nil {
+		t.Fatal("malformed trace accepted")
+	}
+}

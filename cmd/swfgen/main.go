@@ -1,0 +1,60 @@
+// Command swfgen emits a synthetic SWF trace with the published marginal
+// statistics of the LLNL Atlas log (see DESIGN.md §2 for the substitution
+// argument). The output is a standard SWF v2.2 text file consumable by any
+// Parallel Workloads Archive tooling.
+//
+// Usage:
+//
+//	swfgen > atlas-synth.swf
+//	swfgen -jobs 10000 -seed 7 -o small.swf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"gridvo/internal/swf"
+	"gridvo/internal/xrand"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "swfgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("swfgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jobs = fs.Int("jobs", 0, "number of jobs (default: Atlas's 43778)")
+		seed = fs.Uint64("seed", 1, "generator seed")
+		out  = fs.String("o", "", "output path (default: stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *jobs < 0 {
+		return fmt.Errorf("negative job count %d", *jobs)
+	}
+
+	tr := swf.GenerateAtlas(xrand.New(*seed), swf.GenOptions{NumJobs: *jobs})
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := swf.Write(w, tr); err != nil {
+		return err
+	}
+	fmt.Fprintln(stderr, tr.Summarize(swf.LargeRunTimeSec).String())
+	return nil
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gridvo/internal/swf"
+)
+
+func TestRunToStdout(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-jobs", "200", "-seed", "3"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := swf.Parse(&out)
+	if err != nil {
+		t.Fatalf("generated trace does not parse: %v", err)
+	}
+	if len(tr.Jobs) != 200 {
+		t.Fatalf("jobs = %d, want 200", len(tr.Jobs))
+	}
+	if !strings.Contains(errBuf.String(), "jobs=200") {
+		t.Fatalf("summary missing on stderr: %q", errBuf.String())
+	}
+}
+
+func TestRunToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.swf")
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-jobs", "100", "-o", path}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Fatal("stdout written despite -o")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := swf.Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 100 {
+		t.Fatalf("file jobs = %d", len(tr.Jobs))
+	}
+}
+
+func TestRunDeterministicAcrossSeeds(t *testing.T) {
+	gen := func(seed string) string {
+		var out, errBuf bytes.Buffer
+		if err := run([]string{"-jobs", "50", "-seed", seed}, &out, &errBuf); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	if gen("5") != gen("5") {
+		t.Fatal("same seed produced different traces")
+	}
+	if gen("5") == gen("6") {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-jobs", "-4"}, &out, &errBuf); err == nil {
+		t.Fatal("negative jobs accepted")
+	}
+	if err := run([]string{"-o", "/no/such/dir/x.swf", "-jobs", "1"}, &out, &errBuf); err == nil {
+		t.Fatal("unwritable output accepted")
+	}
+	if err := run([]string{"-bogus"}, &out, &errBuf); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

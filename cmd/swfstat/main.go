@@ -1,0 +1,82 @@
+// Command swfstat summarizes an SWF trace the way Section IV-A of the
+// paper reports the Atlas log: total jobs, successfully completed jobs,
+// the fraction of large (≥ 2 h) completed jobs, size and runtime ranges,
+// and the processor-count histogram of the jobs eligible as experiment
+// programs.
+//
+// Usage:
+//
+//	swfstat atlas.swf
+//	swfstat -min-runtime 3600 atlas.swf
+//	swfgen | swfstat -        # read from stdin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"gridvo/internal/swf"
+	"gridvo/internal/tablewriter"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "swfstat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("swfstat", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	minRuntime := fs.Float64("min-runtime", swf.LargeRunTimeSec, "large-job threshold in seconds")
+	topSizes := fs.Int("top", 20, "show at most this many processor-count buckets")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: swfstat [flags] <trace.swf | ->")
+	}
+	var r io.Reader
+	if fs.Arg(0) == "-" {
+		r = stdin
+	} else {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	tr, err := swf.Parse(r)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintln(stdout, tr.Summarize(*minRuntime).String())
+	if m := tr.Meta(); m.Computer != "" {
+		fmt.Fprintf(stdout, "computer: %s (SWF %s)\n", m.Computer, m.Version)
+	}
+	fmt.Fprintln(stdout)
+
+	eligible := tr.Select(swf.And(
+		swf.CompletedOnly(),
+		swf.ValidForSimulation(),
+		swf.MinRunTime(*minRuntime),
+	))
+	procs, counts := swf.ProcsHistogram(eligible)
+	t := tablewriter.New("processors", "eligible_jobs")
+	t.SetTitle(fmt.Sprintf("program-size supply (completed, runtime ≥ %.0fs)", *minRuntime))
+	shown := 0
+	for i := range procs {
+		if shown >= *topSizes {
+			t.AddRow("…", "")
+			break
+		}
+		t.AddRow(tablewriter.Itoa(procs[i]), tablewriter.Itoa(counts[i]))
+		shown++
+	}
+	return t.Render(stdout)
+}

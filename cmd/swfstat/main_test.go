@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gridvo/internal/swf"
+	"gridvo/internal/xrand"
+)
+
+func writeTempTrace(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "t.swf")
+	tr := swf.GenerateAtlas(xrand.New(1), swf.GenOptions{NumJobs: 500})
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := swf.Write(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunOnFile(t *testing.T) {
+	path := writeTempTrace(t)
+	var out, errBuf bytes.Buffer
+	if err := run([]string{path}, nil, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"jobs=500", "program-size supply", "processors", "computer: synthetic LLNL Atlas"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunFromStdin(t *testing.T) {
+	var traceBuf bytes.Buffer
+	tr := swf.GenerateAtlas(xrand.New(2), swf.GenOptions{NumJobs: 100})
+	if err := swf.Write(&traceBuf, tr); err != nil {
+		t.Fatal(err)
+	}
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-"}, &traceBuf, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "jobs=100") {
+		t.Fatalf("stdin run malformed:\n%s", out.String())
+	}
+}
+
+func TestRunCustomThresholdAndTop(t *testing.T) {
+	path := writeTempTrace(t)
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-min-runtime", "60", "-top", "3", path}, nil, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "≥ 60s") {
+		t.Fatalf("threshold not applied:\n%s", s)
+	}
+	if !strings.Contains(s, "…") {
+		t.Fatalf("-top truncation marker missing:\n%s", s)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run(nil, nil, &out, &errBuf); err == nil {
+		t.Fatal("missing argument accepted")
+	}
+	if err := run([]string{"/does/not/exist.swf"}, nil, &out, &errBuf); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := strings.NewReader("this is not swf\n")
+	if err := run([]string{"-"}, bad, &out, &errBuf); err == nil {
+		t.Fatal("malformed trace accepted")
+	}
+}

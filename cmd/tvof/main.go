@@ -1,0 +1,230 @@
+// Command tvof runs one VO formation on a scenario described in JSON and
+// prints the full iteration trace, the selected VO, and a stability check.
+//
+// Scenario schema (see -sample to generate a starting point):
+//
+//	{
+//	  "gsps":      [{"name": "G0", "speed_gflops": 120.0}, ...],
+//	  "tasks":     [17676.0, 23011.5, ...],          // workloads in GFLOP
+//	  "deadline":  3600.0,                           // seconds
+//	  "payment":   50000.0,
+//	  "trust":     {"n": 4, "edges": [{"from":0,"to":1,"weight":0.8}, ...]},
+//	  "cost":      [[...per-task costs of GSP 0...], ...]   // optional
+//	}
+//
+// When "cost" is omitted a Braun-style matrix is generated from -seed.
+//
+// Usage:
+//
+//	tvof -sample > scenario.json       # write a template
+//	tvof scenario.json                 # run TVOF on it
+//	tvof -rule rvof scenario.json      # the random baseline
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"gridvo/internal/assign"
+	"gridvo/internal/grid"
+	"gridvo/internal/mechanism"
+	"gridvo/internal/tablewriter"
+	"gridvo/internal/trust"
+	"gridvo/internal/workload"
+	"gridvo/internal/xrand"
+)
+
+type jsonGSP struct {
+	Name        string  `json:"name"`
+	SpeedGFLOPS float64 `json:"speed_gflops"`
+}
+
+type jsonScenario struct {
+	GSPs     []jsonGSP    `json:"gsps"`
+	Tasks    []float64    `json:"tasks"`
+	Deadline float64      `json:"deadline"`
+	Payment  float64      `json:"payment"`
+	Trust    *trust.Graph `json:"trust"`
+	Cost     [][]float64  `json:"cost,omitempty"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "tvof:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("tvof", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		rule    = fs.String("rule", "tvof", "mechanism: tvof | rvof")
+		seed    = fs.Uint64("seed", 1, "seed for tie-breaking and generated costs")
+		sample  = fs.Bool("sample", false, "print a sample scenario and exit")
+		stable  = fs.Bool("check-stability", true, "run the Definition-1 stability check")
+		nodeCap = fs.Int64("nodes", 0, "branch-and-bound node budget (0 = default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *sample {
+		return printSample(stdout, *seed)
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: tvof [flags] <scenario.json>  (or tvof -sample)")
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	var js jsonScenario
+	if err := json.Unmarshal(data, &js); err != nil {
+		return fmt.Errorf("parsing scenario: %w", err)
+	}
+	sc, err := buildScenario(&js, *seed)
+	if err != nil {
+		return err
+	}
+
+	opts := mechanism.Options{Solver: assign.Options{NodeBudget: *nodeCap}}
+	switch *rule {
+	case "tvof":
+		opts.Eviction = mechanism.EvictLowestReputation
+	case "rvof":
+		opts.Eviction = mechanism.EvictRandom
+	default:
+		return fmt.Errorf("unknown rule %q", *rule)
+	}
+	res, err := mechanism.Run(sc, opts, xrand.New(*seed))
+	if err != nil {
+		return err
+	}
+
+	t := tablewriter.New("iteration", "vo_size", "members", "feasible", "cost", "payoff", "avg_reputation", "evicted")
+	t.SetTitle(fmt.Sprintf("%s formation trace (n=%d tasks, m=%d GSPs)", *rule, sc.N(), sc.M()))
+	for i := range res.Iterations {
+		rec := &res.Iterations[i]
+		evicted := "-"
+		if rec.Evicted >= 0 {
+			evicted = sc.GSPs[rec.Evicted].Name
+		}
+		t.AddRow(
+			tablewriter.Itoa(i),
+			tablewriter.Itoa(rec.Size()),
+			memberNames(sc, rec.Members),
+			fmt.Sprintf("%v", rec.Feasible),
+			tablewriter.Ftoa(rec.Cost, 2),
+			tablewriter.Ftoa(rec.Payoff, 2),
+			tablewriter.Ftoa(rec.AvgReputation, 4),
+			evicted,
+		)
+	}
+	if err := t.Render(stdout); err != nil {
+		return err
+	}
+
+	final := res.Final()
+	if final == nil {
+		fmt.Fprintln(stdout, "\nno feasible VO exists for this scenario")
+		return nil
+	}
+	fmt.Fprintf(stdout, "\nselected VO: %s\n", memberNames(sc, final.Members))
+	fmt.Fprintf(stdout, "  individual payoff:     %.2f\n", final.Payoff)
+	fmt.Fprintf(stdout, "  total cost:            %.2f (payment %.2f)\n", final.Cost, sc.Payment)
+	fmt.Fprintf(stdout, "  avg global reputation: %.4f\n", final.AvgReputation)
+	fmt.Fprintf(stdout, "  formation time:        %s\n", res.Duration)
+	if *stable {
+		ok, destabilizer, err := mechanism.StabilityCheck(sc, res, opts, mechanism.CriterionTotal)
+		if err != nil {
+			return err
+		}
+		if ok {
+			fmt.Fprintln(stdout, "  individually stable:   yes (total-reputation criterion)")
+		} else {
+			fmt.Fprintf(stdout, "  individually stable:   NO — %s could leave\n", sc.GSPs[destabilizer].Name)
+		}
+	}
+	return nil
+}
+
+func memberNames(sc *mechanism.Scenario, members []int) string {
+	s := ""
+	for i, m := range members {
+		if i > 0 {
+			s += ","
+		}
+		s += sc.GSPs[m].Name
+	}
+	return s
+}
+
+func buildScenario(js *jsonScenario, seed uint64) (*mechanism.Scenario, error) {
+	m := len(js.GSPs)
+	if m == 0 {
+		return nil, fmt.Errorf("scenario has no GSPs")
+	}
+	if len(js.Tasks) == 0 {
+		return nil, fmt.Errorf("scenario has no tasks")
+	}
+	gsps := make([]grid.GSP, m)
+	for i, g := range js.GSPs {
+		name := g.Name
+		if name == "" {
+			name = fmt.Sprintf("G%d", i)
+		}
+		if g.SpeedGFLOPS <= 0 {
+			return nil, fmt.Errorf("GSP %s has non-positive speed", name)
+		}
+		gsps[i] = grid.GSP{ID: i, Name: name, SpeedGFLOPS: g.SpeedGFLOPS}
+	}
+	if js.Trust == nil {
+		return nil, fmt.Errorf("scenario has no trust graph")
+	}
+	prog := &workload.Program{Name: "json", Tasks: js.Tasks}
+	cost := js.Cost
+	if cost == nil {
+		cost = grid.CostMatrix(xrand.New(seed).Split("cost"), m, prog)
+	}
+	if len(cost) != m {
+		return nil, fmt.Errorf("cost matrix has %d rows for %d GSPs", len(cost), m)
+	}
+	sc := &mechanism.Scenario{
+		Program:  prog,
+		GSPs:     gsps,
+		Cost:     cost,
+		Time:     grid.TimeMatrix(gsps, prog),
+		Deadline: js.Deadline,
+		Payment:  js.Payment,
+		Trust:    js.Trust,
+	}
+	return sc, sc.Validate()
+}
+
+func printSample(w io.Writer, seed uint64) error {
+	rng := xrand.New(seed)
+	tg := trust.ErdosRenyi(rng.Split("trust"), 4, 0.5)
+	trust.EnsureEveryNodeTrusted(rng.Split("fix"), tg)
+	js := jsonScenario{
+		GSPs: []jsonGSP{
+			{Name: "alpha", SpeedGFLOPS: 160},
+			{Name: "beta", SpeedGFLOPS: 240},
+			{Name: "gamma", SpeedGFLOPS: 320},
+			{Name: "delta", SpeedGFLOPS: 480},
+		},
+		Tasks:    make([]float64, 12),
+		Deadline: 2000,
+		Payment:  6000,
+		Trust:    tg,
+	}
+	for i := range js.Tasks {
+		js.Tasks[i] = rng.Uniform(20000, 40000)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(js)
+}

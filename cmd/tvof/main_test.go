@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gridvo/internal/trust"
+)
+
+func sampleScenarioFile(t *testing.T) string {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-sample", "-seed", "1"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSampleIsValidJSON(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-sample"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	var js jsonScenario
+	if err := json.Unmarshal(out.Bytes(), &js); err != nil {
+		t.Fatalf("sample does not parse: %v", err)
+	}
+	if len(js.GSPs) != 4 || len(js.Tasks) != 12 || js.Trust == nil {
+		t.Fatalf("sample malformed: %+v", js)
+	}
+}
+
+func TestRunTVOFOnSample(t *testing.T) {
+	path := sampleScenarioFile(t)
+	var out, errBuf bytes.Buffer
+	if err := run([]string{path}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"tvof formation trace", "selected VO:", "individual payoff:", "individually stable"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunRVOFOnSample(t *testing.T) {
+	path := sampleScenarioFile(t)
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-rule", "rvof", "-check-stability=false", path}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "rvof formation trace") {
+		t.Fatalf("rvof output malformed:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "individually stable") {
+		t.Fatal("stability check ran despite -check-stability=false")
+	}
+}
+
+func TestRunInfeasibleScenario(t *testing.T) {
+	path := sampleScenarioFile(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var js jsonScenario
+	if err := json.Unmarshal(data, &js); err != nil {
+		t.Fatal(err)
+	}
+	js.Deadline = 0.0001 // nothing can run
+	tight, err := json.Marshal(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tightPath := filepath.Join(t.TempDir(), "tight.json")
+	if err := os.WriteFile(tightPath, tight, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errBuf bytes.Buffer
+	if err := run([]string{tightPath}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no feasible VO") {
+		t.Fatalf("infeasible scenario not reported:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run(nil, &out, &errBuf); err == nil {
+		t.Fatal("missing argument accepted")
+	}
+	if err := run([]string{"/no/such/file.json"}, &out, &errBuf); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad}, &out, &errBuf); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"gsps":[],"tasks":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{empty}, &out, &errBuf); err == nil {
+		t.Fatal("empty scenario accepted")
+	}
+	path := sampleScenarioFile(t)
+	if err := run([]string{"-rule", "bogus", path}, &out, &errBuf); err == nil {
+		t.Fatal("unknown rule accepted")
+	}
+}
+
+func TestBuildScenarioValidation(t *testing.T) {
+	base := func() *jsonScenario {
+		return &jsonScenario{
+			GSPs:     []jsonGSP{{Name: "a", SpeedGFLOPS: 10}, {SpeedGFLOPS: 20}},
+			Tasks:    []float64{100, 200, 300},
+			Deadline: 100,
+			Payment:  1000,
+			Trust:    sampleTrust(),
+		}
+	}
+	if sc, err := buildScenario(base(), 1); err != nil {
+		t.Fatal(err)
+	} else if sc.GSPs[1].Name != "G1" {
+		t.Fatal("default GSP name not applied")
+	}
+	bad := base()
+	bad.GSPs[0].SpeedGFLOPS = 0
+	if _, err := buildScenario(bad, 1); err == nil {
+		t.Fatal("zero speed accepted")
+	}
+	bad = base()
+	bad.Trust = nil
+	if _, err := buildScenario(bad, 1); err == nil {
+		t.Fatal("missing trust accepted")
+	}
+	bad = base()
+	bad.Cost = [][]float64{{1, 2, 3}} // one row for two GSPs
+	if _, err := buildScenario(bad, 1); err == nil {
+		t.Fatal("ragged cost matrix accepted")
+	}
+}
+
+func sampleTrust() *trust.Graph {
+	g := trust.NewGraph(2)
+	g.SetTrust(0, 1, 0.5)
+	g.SetTrust(1, 0, 0.5)
+	return g
+}

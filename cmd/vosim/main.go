@@ -1,0 +1,295 @@
+// Command vosim regenerates the experiments of the paper's evaluation
+// section. Each figure of Section IV maps to a -fig value; -all runs the
+// whole suite. Output is an aligned ASCII table per figure (use -csv for
+// machine-readable output, -plot for ASCII charts).
+//
+// Usage:
+//
+//	vosim -fig 3                 # Fig. 3: average reputation vs tasks
+//	vosim -all -seed 7           # every figure, custom seed
+//	vosim -table1                # print the simulation parameters
+//	vosim -fig 1 -sizes 256,512 -reps 3 -quick
+//	vosim -fig 5 -csv > fig5.csv
+//	vosim -fig 2 -trace atlas.swf   # use a real SWF trace
+//	vosim -all -par 0            # parallel sweep on all cores
+//	vosim -ablation              # eviction-rule ablation (extension)
+//	vosim -evolution             # trust-evolution experiment (extension)
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"gridvo/internal/mechanism"
+	"gridvo/internal/sim"
+	"gridvo/internal/swf"
+	"gridvo/internal/tablewriter"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "vosim:", err)
+		os.Exit(1)
+	}
+}
+
+// errUsage signals a bad invocation (exit 1 either way; kept distinct for
+// tests).
+var errUsage = errors.New("nothing to do; pass -fig N, -all, -table1, -ablation or -evolution")
+
+// run is the testable entry point: parses args, executes the requested
+// experiments, writes results to stdout.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("vosim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		fig     = fs.Int("fig", 0, "figure to regenerate (1-9); 0 with -all or -table1")
+		all     = fs.Bool("all", false, "run every figure")
+		table1  = fs.Bool("table1", false, "print Table I (simulation parameters)")
+		seed    = fs.Uint64("seed", 42, "root seed (reproducible runs)")
+		reps    = fs.Int("reps", 0, "repetitions per point (default: paper's 10)")
+		sizes   = fs.String("sizes", "", "comma-separated program sizes (default: paper's 256..8192)")
+		quick   = fs.Bool("quick", false, "reduced setup for smoke runs (small sizes, 3 reps)")
+		csv     = fs.Bool("csv", false, "emit CSV instead of aligned tables")
+		plot    = fs.Bool("plot", false, "draw ASCII charts alongside the tables")
+		trace   = fs.String("trace", "", "path to a real SWF trace (default: synthetic Atlas)")
+		nodeCap = fs.Int64("nodes", 0, "branch-and-bound node budget per IP solve (0 = default)")
+		verbose = fs.Bool("v", false, "print per-run progress")
+		par     = fs.Int("par", 1, "worker goroutines for the sweep (0 = GOMAXPROCS)")
+		ablate  = fs.Bool("ablation", false, "run the eviction-rule ablation instead of a figure")
+		evol    = fs.Bool("evolution", false, "run the trust-evolution extension (TVOF vs RVOF, with and without decay)")
+		rounds  = fs.Int("rounds", 8, "trust-evolution rounds (with -evolution)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := sim.DefaultConfig(*seed)
+	if *quick {
+		cfg = sim.QuickConfig(*seed)
+	}
+	if *reps > 0 {
+		cfg.Repetitions = *reps
+	}
+	if *sizes != "" {
+		parsed, err := parseSizes(*sizes)
+		if err != nil {
+			return err
+		}
+		cfg.ProgramSizes = parsed
+	}
+	if *nodeCap != 0 {
+		cfg.Solver.NodeBudget = *nodeCap
+	}
+	if *trace != "" {
+		f, err := os.Open(*trace)
+		if err != nil {
+			return err
+		}
+		tr, err := swf.Parse(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		cfg.Trace = tr
+	}
+
+	if *table1 {
+		if err := emit(stdout, sim.Table1(cfg), *csv); err != nil {
+			return err
+		}
+		if !*all && *fig == 0 {
+			return nil
+		}
+	}
+
+	if *evol {
+		env, err := sim.NewEnv(cfg)
+		if err != nil {
+			return err
+		}
+		for _, variant := range []struct {
+			rule      mechanism.EvictionRule
+			retention float64
+		}{
+			{mechanism.EvictLowestReputation, 0},
+			{mechanism.EvictRandom, 0},
+			{mechanism.EvictLowestReputation, 0.5},
+		} {
+			r, err := env.RunEvolution(sim.EvolutionConfig{
+				Rounds:         *rounds,
+				Rule:           variant.rule,
+				ProgramSize:    traceProgramSize(cfg),
+				DecayRetention: variant.retention,
+				IdleRounds:     4,
+			})
+			if err != nil {
+				return err
+			}
+			title := sim.EvolutionComparisonTitle(variant.rule.String(), variant.retention)
+			if err := emit(stdout, sim.EvolutionTable(r, title), *csv); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if *ablate {
+		env, err := sim.NewEnv(cfg)
+		if err != nil {
+			return err
+		}
+		r, err := env.EvictionAblation(traceProgramSize(cfg), nil)
+		if err != nil {
+			return err
+		}
+		return emit(stdout, sim.AblationTable(r), *csv)
+	}
+	if !*all && *fig == 0 && !*table1 {
+		fs.Usage()
+		return errUsage
+	}
+
+	env, err := sim.NewEnv(cfg)
+	if err != nil {
+		return err
+	}
+	var progress func(string)
+	if *verbose {
+		progress = func(s string) { fmt.Fprintln(stderr, s) }
+	}
+
+	figs := map[int]bool{}
+	if *all {
+		for i := 1; i <= 9; i++ {
+			figs[i] = true
+		}
+	} else if *fig != 0 {
+		if *fig < 1 || *fig > 9 {
+			return fmt.Errorf("figure %d outside 1-9", *fig)
+		}
+		figs[*fig] = true
+	}
+
+	// Figs 1, 2, 3, 9 share one sweep.
+	var sweep *sim.SweepResult
+	if figs[1] || figs[2] || figs[3] || figs[9] {
+		if *par == 1 {
+			sweep, err = env.Sweep(progress)
+		} else {
+			sweep, err = env.SweepParallel(*par, progress)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	traceSize := traceProgramSize(cfg)
+	runTrace := func(tag string, rule mechanism.EvictionRule, figure string) error {
+		tr, err := env.IterationTrace(traceSize, tag, rule)
+		if err != nil {
+			return err
+		}
+		if err := emit(stdout, sim.TraceTable(tr, figure), *csv); err != nil {
+			return err
+		}
+		if *plot {
+			fmt.Fprintln(stdout, sim.TraceChart(tr, figure).Render())
+		}
+		return nil
+	}
+
+	for i := 1; i <= 9; i++ {
+		if !figs[i] {
+			continue
+		}
+		switch i {
+		case 1:
+			err = emitWithChart(stdout, sim.Fig1Table(sweep), *csv, *plot, func() string { return sim.Fig1Chart(sweep).Render() })
+		case 2:
+			err = emitWithChart(stdout, sim.Fig2Table(sweep), *csv, *plot, func() string { return sim.Fig2Chart(sweep).Render() })
+		case 3:
+			err = emitWithChart(stdout, sim.Fig3Table(sweep), *csv, *plot, func() string { return sim.Fig3Chart(sweep).Render() })
+		case 4:
+			r, ferr := env.Fig4(traceSize, 10)
+			if ferr != nil {
+				return ferr
+			}
+			if err = emitWithChart(stdout, sim.Fig4Table(r), *csv, *plot, func() string { return sim.Fig4Chart(r).Render() }); err == nil {
+				_, err = fmt.Fprintf(stdout, "agreement: %d/%d programs picked the same VO under both rules\n\n",
+					r.AgreementCount(), len(r.Programs))
+			}
+		case 5:
+			err = runTrace("A", mechanism.EvictLowestReputation, "Fig. 5")
+		case 6:
+			err = runTrace("B", mechanism.EvictLowestReputation, "Fig. 6")
+		case 7:
+			err = runTrace("A", mechanism.EvictRandom, "Fig. 7")
+		case 8:
+			err = runTrace("B", mechanism.EvictRandom, "Fig. 8")
+		case 9:
+			err = emitWithChart(stdout, sim.Fig9Table(sweep), *csv, *plot, func() string { return sim.Fig9Chart(sweep).Render() })
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// traceProgramSize picks the program size for Figs. 4-8 (the paper uses
+// 256 tasks); falls back to the smallest configured size when 256 is not
+// in the configured set.
+func traceProgramSize(cfg sim.Config) int {
+	for _, s := range cfg.ProgramSizes {
+		if s == 256 {
+			return s
+		}
+	}
+	best := cfg.ProgramSizes[0]
+	for _, s := range cfg.ProgramSizes {
+		if s < best {
+			best = s
+		}
+	}
+	return best
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("vosim: bad size %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func emit(w io.Writer, t *tablewriter.Table, csv bool) error {
+	if csv {
+		if err := t.RenderCSV(w); err != nil {
+			return err
+		}
+	} else if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func emitWithChart(w io.Writer, t *tablewriter.Table, csv, plot bool, chart func() string) error {
+	if err := emit(w, t, csv); err != nil {
+		return err
+	}
+	if plot {
+		if _, err := fmt.Fprintln(w, chart()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gridvo/internal/sim"
+	"gridvo/internal/swf"
+	"gridvo/internal/xrand"
+)
+
+func TestParseSizes(t *testing.T) {
+	got, err := parseSizes("256, 512,1024")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 256 || got[1] != 512 || got[2] != 1024 {
+		t.Fatalf("parseSizes = %v", got)
+	}
+	for _, bad := range []string{"", "abc", "256,-1", "0", "1,,2"} {
+		if _, err := parseSizes(bad); err == nil {
+			t.Fatalf("parseSizes(%q) accepted", bad)
+		}
+	}
+}
+
+func TestTraceProgramSize(t *testing.T) {
+	cfg := sim.DefaultConfig(1)
+	if got := traceProgramSize(cfg); got != 256 {
+		t.Fatalf("default trace size = %d, want 256", got)
+	}
+	cfg.ProgramSizes = []int{2048, 512, 1024}
+	if got := traceProgramSize(cfg); got != 512 {
+		t.Fatalf("fallback trace size = %d, want smallest (512)", got)
+	}
+}
+
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	if err := run(args, &out, &errBuf); err != nil {
+		t.Fatalf("run(%v) failed: %v\nstderr: %s", args, err, errBuf.String())
+	}
+	return out.String()
+}
+
+func TestRunTable1(t *testing.T) {
+	out := runCLI(t, "-table1")
+	if !strings.Contains(out, "number of GSPs") || !strings.Contains(out, "16") {
+		t.Fatalf("table1 output malformed:\n%s", out)
+	}
+}
+
+func TestRunSingleFigureQuick(t *testing.T) {
+	out := runCLI(t, "-quick", "-fig", "2", "-sizes", "32,64", "-reps", "2", "-nodes", "50000", "-seed", "5")
+	if !strings.Contains(out, "Fig. 2") || !strings.Contains(out, "tvof_vo_size") {
+		t.Fatalf("fig2 output malformed:\n%s", out)
+	}
+}
+
+func TestRunFigureWithPlotAndCSV(t *testing.T) {
+	out := runCLI(t, "-quick", "-fig", "2", "-sizes", "32", "-reps", "2", "-nodes", "50000", "-plot", "-seed", "6")
+	if !strings.Contains(out, "legend:") {
+		t.Fatalf("plot missing:\n%s", out)
+	}
+	csvOut := runCLI(t, "-quick", "-fig", "2", "-sizes", "32", "-reps", "2", "-nodes", "50000", "-csv", "-seed", "6")
+	if !strings.Contains(csvOut, "tasks,tvof_vo_size,rvof_vo_size") {
+		t.Fatalf("csv missing header:\n%s", csvOut)
+	}
+}
+
+func TestRunTraceFigure(t *testing.T) {
+	out := runCLI(t, "-quick", "-fig", "5", "-sizes", "32", "-reps", "1", "-nodes", "50000", "-seed", "7")
+	if !strings.Contains(out, "Fig. 5") || !strings.Contains(out, "program A") {
+		t.Fatalf("fig5 output malformed:\n%s", out)
+	}
+}
+
+func TestRunParallelSweepFlag(t *testing.T) {
+	out := runCLI(t, "-quick", "-fig", "3", "-sizes", "32", "-reps", "2", "-nodes", "50000", "-par", "0", "-seed", "8")
+	if !strings.Contains(out, "Fig. 3") {
+		t.Fatalf("parallel fig3 malformed:\n%s", out)
+	}
+}
+
+func TestRunExternalTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.swf")
+	tr := swf.GenerateAtlas(xrand.New(1), swf.GenOptions{
+		NumJobs:        800,
+		GuaranteeSizes: []int{32},
+		MinPerSize:     6,
+	})
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := swf.Write(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	out := runCLI(t, "-quick", "-fig", "2", "-sizes", "32", "-reps", "2", "-nodes", "50000", "-trace", path, "-seed", "9")
+	if !strings.Contains(out, "Fig. 2") {
+		t.Fatalf("trace-driven run malformed:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run(nil, &out, &errBuf); err == nil {
+		t.Fatal("no-op invocation accepted")
+	}
+	if err := run([]string{"-fig", "12"}, &out, &errBuf); err == nil {
+		t.Fatal("figure 12 accepted")
+	}
+	if err := run([]string{"-fig", "1", "-sizes", "bogus"}, &out, &errBuf); err == nil {
+		t.Fatal("bad sizes accepted")
+	}
+	if err := run([]string{"-fig", "1", "-trace", "/does/not/exist.swf"}, &out, &errBuf); err == nil {
+		t.Fatal("missing trace file accepted")
+	}
+	if err := run([]string{"-badflag"}, &out, &errBuf); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

@@ -1,0 +1,34 @@
+package gridvo_test
+
+import (
+	"fmt"
+	"log"
+
+	"gridvo"
+)
+
+// Example demonstrates the end-to-end facade: build a Table I-style
+// experiment, draw one scenario, and form a VO with the trust-based
+// mechanism.
+func Example() {
+	exp, err := gridvo.NewQuickExperiment(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc, err := exp.Scenario(64, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := gridvo.FormVO(sc, gridvo.TVOF, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	final := res.Final()
+	fmt.Println("tasks:", sc.N())
+	fmt.Println("formed a VO:", final != nil)
+	fmt.Println("every iteration shrinks the VO:", len(res.Iterations) <= sc.M())
+	// Output:
+	// tasks: 64
+	// formed a VO: true
+	// every iteration shrinks the VO: true
+}

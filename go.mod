@@ -1,0 +1,3 @@
+module gridvo
+
+go 1.22

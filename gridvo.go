@@ -1,0 +1,101 @@
+// Package gridvo reproduces "A Reputation-Based Mechanism for Dynamic
+// Virtual Organization Formation in Grids" (Mashayekhy & Grosu, ICPP 2012)
+// as a complete Go library: the trust/reputation model, the task-assignment
+// integer program with a branch-and-bound solver, the coalitional VO
+// formation game, the TVOF mechanism and its RVOF baseline, the Parallel
+// Workloads Archive substrate, and the experiment harness regenerating
+// every figure of the paper's evaluation.
+//
+// This root package is the facade for common workflows:
+//
+//	exp, _ := gridvo.NewExperiment(42)                  // Table I setup
+//	sc, _ := exp.Scenario(256, 0)                       // one scenario
+//	res, _ := gridvo.FormVO(sc, gridvo.TVOF, 1)         // run the mechanism
+//	fmt.Println(res.Final().Members, res.Final().Payoff)
+//
+// The full capability surface lives in the internal packages (trust,
+// reputation, assign, coalition, mechanism, swf, workload, grid, sim); the
+// cmd/ tools and examples/ directory demonstrate them end to end.
+package gridvo
+
+import (
+	"fmt"
+
+	"gridvo/internal/mechanism"
+	"gridvo/internal/sim"
+	"gridvo/internal/xrand"
+)
+
+// Rule selects a VO formation mechanism.
+type Rule int
+
+const (
+	// TVOF is the paper's trust-based mechanism (Algorithm 1): evict the
+	// lowest-reputation member until infeasibility, select by payoff.
+	TVOF Rule = iota
+	// RVOF is the random-eviction baseline of Section IV-B.
+	RVOF
+)
+
+// Scenario is one VO formation problem: program, GSPs, cost/time matrices,
+// deadline, payment, trust graph. See the mechanism package for fields.
+type Scenario = mechanism.Scenario
+
+// Result is a complete mechanism run: the iteration trace, the selected
+// VO, and timing. See the mechanism package for fields.
+type Result = mechanism.Result
+
+// IterationRecord is one iteration of the mechanism loop.
+type IterationRecord = mechanism.IterationRecord
+
+// Experiment wraps the experiment harness with the paper's Table I setup.
+type Experiment struct {
+	env *sim.Env
+}
+
+// NewExperiment prepares a Table I experiment environment (16 GSPs,
+// Erdős–Rényi p = 0.1 trust, synthetic Atlas trace) reproducible from the
+// seed.
+func NewExperiment(seed uint64) (*Experiment, error) {
+	env, err := sim.NewEnv(sim.DefaultConfig(seed))
+	if err != nil {
+		return nil, err
+	}
+	return &Experiment{env: env}, nil
+}
+
+// NewQuickExperiment prepares a reduced environment (small programs, small
+// trace) for demos and tests.
+func NewQuickExperiment(seed uint64) (*Experiment, error) {
+	env, err := sim.NewEnv(sim.QuickConfig(seed))
+	if err != nil {
+		return nil, err
+	}
+	return &Experiment{env: env}, nil
+}
+
+// Env exposes the underlying harness for advanced use (sweeps, figure
+// regeneration).
+func (e *Experiment) Env() *sim.Env { return e.env }
+
+// Scenario generates the scenario for a (program size, repetition) pair:
+// a trace-derived program of exactly `size` tasks plus Table I parameters,
+// with the grand coalition guaranteed feasible.
+func (e *Experiment) Scenario(size, rep int) (*Scenario, error) {
+	sc, _, err := e.env.BuildScenario(size, rep)
+	return sc, err
+}
+
+// FormVO runs the selected mechanism on a scenario; the seed drives
+// tie-breaking (TVOF) or eviction choice (RVOF).
+func FormVO(sc *Scenario, rule Rule, seed uint64) (*Result, error) {
+	rng := xrand.New(seed)
+	switch rule {
+	case TVOF:
+		return mechanism.TVOF(sc, rng)
+	case RVOF:
+		return mechanism.RVOF(sc, rng)
+	default:
+		return nil, fmt.Errorf("gridvo: unknown rule %d", int(rule))
+	}
+}

@@ -1,0 +1,75 @@
+package gridvo
+
+import "testing"
+
+func TestQuickExperimentEndToEnd(t *testing.T) {
+	exp, err := NewQuickExperiment(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := exp.Scenario(64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := FormVO(sc, TVOF, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := res.Final()
+	if final == nil {
+		t.Fatal("no VO formed")
+	}
+	if final.Payoff <= 0 {
+		t.Fatal("non-positive payoff")
+	}
+	if len(final.Assignment) != sc.N() {
+		t.Fatal("assignment missing")
+	}
+
+	rres, err := FormVO(sc, RVOF, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rres.Final() == nil {
+		t.Fatal("RVOF formed no VO")
+	}
+	if exp.Env() == nil {
+		t.Fatal("Env accessor nil")
+	}
+}
+
+func TestFormVOUnknownRule(t *testing.T) {
+	exp, err := NewQuickExperiment(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := exp.Scenario(64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FormVO(sc, Rule(99), 1); err == nil {
+		t.Fatal("unknown rule accepted")
+	}
+}
+
+func TestFormVODeterministic(t *testing.T) {
+	exp, err := NewQuickExperiment(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := exp.Scenario(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := FormVO(sc, TVOF, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FormVO(sc, TVOF, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Selected != b.Selected || len(a.Iterations) != len(b.Iterations) {
+		t.Fatal("FormVO not deterministic")
+	}
+}

@@ -1,0 +1,292 @@
+package assign
+
+import (
+	"math"
+	"sort"
+)
+
+// Options configure Solve.
+type Options struct {
+	// NodeBudget caps explored branch-and-bound nodes. Zero selects
+	// DefaultNodeBudget; negative means unlimited (use only in tests).
+	NodeBudget int64
+	// DisableHeuristics skips incumbent seeding (tests use this to
+	// exercise the raw search).
+	DisableHeuristics bool
+	// LocalSearchPasses bounds the improvement passes applied to
+	// heuristic incumbents; zero selects a sensible default.
+	LocalSearchPasses int
+}
+
+// DefaultNodeBudget bounds the search on large instances. A node costs
+// tens of nanoseconds, so the default keeps a single solve well under a
+// second while still proving optimality for the small VO-iteration
+// instances that dominate the mechanism's work.
+const DefaultNodeBudget = 2_000_000
+
+// Solve finds a minimum-cost assignment for the instance using exact
+// branch-and-bound warmed by heuristic incumbents. The returned solution's
+// Optimal flag reports whether the search completed (optimality or
+// infeasibility proven); when the node budget interrupts it, the best
+// incumbent and the root lower bound are returned instead.
+func Solve(in *Instance, opts Options) Solution {
+	if err := in.Validate(); err != nil {
+		panic(err) // programming error: instances are built by this module's callers
+	}
+	k, n := in.NumGSPs(), in.NumTasks()
+	sol := Solution{LowerBound: lowerBoundTotal(in)}
+
+	// Degenerate shapes.
+	if k == 0 {
+		sol.Feasible = n == 0
+		sol.Optimal = true
+		sol.Assign = []int{}
+		return sol
+	}
+	if n < k {
+		// Constraint (13) unsatisfiable: fewer tasks than GSPs.
+		sol.Optimal = true
+		return sol
+	}
+
+	budget := opts.NodeBudget
+	if budget == 0 {
+		budget = DefaultNodeBudget
+	}
+
+	s := &searcher{
+		in:       in,
+		k:        k,
+		n:        n,
+		budget:   budget,
+		bestCost: math.Inf(1),
+		cap:      in.budgetCap(),
+		rootOnly: -1,
+	}
+
+	// Seed incumbents.
+	if !opts.DisableHeuristics {
+		candidates := []Heuristic{HeuristicGreedyCost, HeuristicMCT}
+		if n <= 1024 {
+			candidates = append(candidates, HeuristicMinMin, HeuristicSufferage)
+		}
+		for _, h := range candidates {
+			a := RunHeuristic(in, h)
+			if a == nil {
+				continue
+			}
+			LocalSearch(in, a, opts.LocalSearchPasses)
+			if Verify(in, a) != nil {
+				continue
+			}
+			if c := TotalCost(in, a); c < s.bestCost {
+				s.bestCost = c
+				s.bestAssign = append(s.bestAssign[:0], a...)
+			}
+		}
+	}
+
+	s.prepare()
+	s.dfs(0, 0)
+
+	if s.bestAssign != nil {
+		sol.Feasible = true
+		sol.Cost = s.bestCost
+		sol.Assign = append([]int(nil), s.bestAssign...)
+	}
+	sol.Nodes = s.nodes
+	sol.NodeBudgetHit = s.aborted
+	sol.Optimal = !s.aborted
+	if sol.Feasible && sol.Cost <= sol.LowerBound+Eps {
+		// Incumbent meets the global lower bound: optimal regardless of
+		// whether the search was truncated.
+		sol.Optimal = true
+	}
+	return sol
+}
+
+// searcher holds the DFS state for one Solve call.
+type searcher struct {
+	in     *Instance
+	k, n   int
+	budget int64
+	cap    float64 // budget constraint (payment), +Inf if none
+
+	order     []int     // tasks in branching order (descending max time)
+	gspOrder  [][]int   // per ordered-task: GSPs by ascending cost
+	sufMin    []float64 // sufMin[idx] = Σ_{q>=idx} min_g cost(g, order[q])
+	load      []float64
+	count     []int
+	uncovered int
+	assign    []int // assign[orderPos] = gsp
+
+	bestCost   float64
+	bestAssign []int // indexed by task id (not order position)
+	nodes      int64
+	aborted    bool
+
+	// rootOnly, when >= 0, restricts the first branching task to that
+	// GSP — SolveParallel's disjoint root split. Constructors must set
+	// it explicitly (-1 for a full search): the int zero value would
+	// silently mean "GSP 0 only".
+	rootOnly int
+}
+
+func (s *searcher) prepare() {
+	in := s.in
+	s.order = make([]int, s.n)
+	for j := range s.order {
+		s.order[j] = j
+	}
+	// Branch on hard (long) tasks first: they constrain the deadline
+	// most, failing early instead of deep.
+	maxT := make([]float64, s.n)
+	for j := 0; j < s.n; j++ {
+		maxT[j] = maxTime(in, j)
+	}
+	sort.SliceStable(s.order, func(a, b int) bool { return maxT[s.order[a]] > maxT[s.order[b]] })
+
+	s.gspOrder = make([][]int, s.n)
+	for pos, t := range s.order {
+		gs := make([]int, s.k)
+		for g := range gs {
+			gs[g] = g
+		}
+		sort.SliceStable(gs, func(a, b int) bool { return in.Cost[gs[a]][t] < in.Cost[gs[b]][t] })
+		s.gspOrder[pos] = gs
+	}
+
+	s.sufMin = make([]float64, s.n+1)
+	for pos := s.n - 1; pos >= 0; pos-- {
+		t := s.order[pos]
+		m := in.Cost[0][t]
+		for g := 1; g < s.k; g++ {
+			if in.Cost[g][t] < m {
+				m = in.Cost[g][t]
+			}
+		}
+		s.sufMin[pos] = s.sufMin[pos+1] + m
+	}
+
+	s.load = make([]float64, s.k)
+	s.count = make([]int, s.k)
+	s.uncovered = s.k
+	s.assign = make([]int, s.n)
+}
+
+func (s *searcher) dfs(pos int, costSoFar float64) {
+	if s.aborted {
+		return
+	}
+	s.nodes++
+	if s.budget > 0 && s.nodes > s.budget {
+		s.aborted = true
+		return
+	}
+	if pos == s.n {
+		if s.uncovered == 0 && costSoFar < s.bestCost && costSoFar <= s.cap+Eps {
+			s.bestCost = costSoFar
+			if s.bestAssign == nil {
+				s.bestAssign = make([]int, s.n)
+			}
+			for p, t := range s.order {
+				s.bestAssign[t] = s.assign[p]
+			}
+		}
+		return
+	}
+	remaining := s.n - pos
+	if s.uncovered > remaining {
+		return // cannot cover every GSP anymore
+	}
+	bound := costSoFar + s.sufMin[pos]
+	if bound >= s.bestCost-Eps || bound > s.cap+Eps {
+		return
+	}
+	t := s.order[pos]
+	mustCover := s.uncovered == remaining
+	for _, g := range s.gspOrder[pos] {
+		if pos == 0 && s.rootOnly >= 0 && g != s.rootOnly {
+			continue
+		}
+		if mustCover && s.count[g] > 0 {
+			continue
+		}
+		ct := s.in.Cost[g][t]
+		if costSoFar+ct+s.sufMin[pos+1] >= s.bestCost-Eps {
+			// GSPs are cost-sorted: no later g can be better either,
+			// unless the coverage filter skipped cheaper ones.
+			if !mustCover {
+				break
+			}
+			continue
+		}
+		tt := s.in.Time[g][t]
+		if s.load[g]+tt > s.in.Deadline+Eps {
+			continue
+		}
+		s.load[g] += tt
+		s.count[g]++
+		if s.count[g] == 1 {
+			s.uncovered--
+		}
+		s.assign[pos] = g
+		s.dfs(pos+1, costSoFar+ct)
+		s.load[g] -= tt
+		s.count[g]--
+		if s.count[g] == 0 {
+			s.uncovered++
+		}
+		if s.aborted {
+			return
+		}
+	}
+}
+
+// BruteForce enumerates every assignment (k^n) and returns the optimal
+// solution, for cross-checking the branch-and-bound on small instances.
+// It panics if k^n exceeds 50 million states.
+func BruteForce(in *Instance) Solution {
+	if err := in.Validate(); err != nil {
+		panic(err)
+	}
+	k, n := in.NumGSPs(), in.NumTasks()
+	sol := Solution{LowerBound: lowerBoundTotal(in), Optimal: true}
+	if k == 0 {
+		sol.Feasible = n == 0
+		sol.Assign = []int{}
+		return sol
+	}
+	states := math.Pow(float64(k), float64(n))
+	if states > 50e6 {
+		panic("assign: BruteForce instance too large")
+	}
+	assign := make([]int, n)
+	best := math.Inf(1)
+	var bestAssign []int
+	capB := in.budgetCap()
+	var rec func(j int)
+	rec = func(j int) {
+		if j == n {
+			if err := Verify(in, assign); err != nil {
+				return
+			}
+			if c := TotalCost(in, assign); c < best && c <= capB+Eps {
+				best = c
+				bestAssign = append(bestAssign[:0:0], assign...)
+			}
+			return
+		}
+		for g := 0; g < k; g++ {
+			assign[j] = g
+			rec(j + 1)
+		}
+	}
+	rec(0)
+	if bestAssign != nil {
+		sol.Feasible = true
+		sol.Cost = best
+		sol.Assign = bestAssign
+	}
+	return sol
+}

@@ -1,0 +1,35 @@
+package assign_test
+
+import (
+	"fmt"
+
+	"gridvo/internal/assign"
+)
+
+// ExampleSolve solves a tiny task-assignment IP: two GSPs, three tasks,
+// every GSP must receive at least one task (constraint 13), and the total
+// cost is minimized subject to the deadline.
+func ExampleSolve() {
+	in := &assign.Instance{
+		// Cost[gsp][task]: GSP 0 is cheap for tasks 0-1, GSP 1 for task 2.
+		Cost: [][]float64{
+			{1, 2, 9},
+			{8, 7, 3},
+		},
+		Time: [][]float64{
+			{1, 1, 1},
+			{1, 1, 1},
+		},
+		Deadline: 10,
+	}
+	sol := assign.Solve(in, assign.Options{})
+	fmt.Printf("feasible: %v, optimal: %v\n", sol.Feasible, sol.Optimal)
+	fmt.Printf("cost: %.0f\n", sol.Cost)
+	fmt.Printf("assignment: %v\n", sol.Assign)
+	fmt.Printf("verifies: %v\n", assign.Verify(in, sol.Assign) == nil)
+	// Output:
+	// feasible: true, optimal: true
+	// cost: 6
+	// assignment: [0 0 1]
+	// verifies: true
+}

@@ -1,0 +1,344 @@
+package assign
+
+import (
+	"math"
+	"sort"
+)
+
+// Heuristic identifies one of the constructive heuristics. They serve two
+// roles: as fast incumbents warming the branch-and-bound search, and as
+// standalone baselines (MCT, Min-Min, Max-Min, Sufferage are the classic
+// mapping heuristics of Braun et al. and Azzedin & Maheswaran that the
+// paper's related work discusses).
+type Heuristic int
+
+const (
+	// HeuristicGreedyCost assigns a coverage task to every GSP first
+	// (cheapest feasible pair each round), then every remaining task to
+	// its cheapest GSP with deadline capacity. Cost-oriented; the default
+	// incumbent.
+	HeuristicGreedyCost Heuristic = iota
+	// HeuristicMCT assigns tasks in index order to the GSP with the
+	// Minimum Completion Time given current loads.
+	HeuristicMCT
+	// HeuristicMinMin repeatedly assigns the task whose best completion
+	// time is smallest (Braun et al.). O(n²k).
+	HeuristicMinMin
+	// HeuristicMaxMin repeatedly assigns the task whose best completion
+	// time is largest. O(n²k).
+	HeuristicMaxMin
+	// HeuristicSufferage repeatedly assigns the task that would "suffer"
+	// most if denied its best GSP (largest second-best − best completion
+	// time difference). O(n²k).
+	HeuristicSufferage
+)
+
+// String returns the heuristic name.
+func (h Heuristic) String() string {
+	switch h {
+	case HeuristicGreedyCost:
+		return "greedy-cost"
+	case HeuristicMCT:
+		return "mct"
+	case HeuristicMinMin:
+		return "min-min"
+	case HeuristicMaxMin:
+		return "max-min"
+	case HeuristicSufferage:
+		return "sufferage"
+	default:
+		return "unknown"
+	}
+}
+
+// RunHeuristic builds an assignment with the chosen heuristic. It returns
+// nil when the heuristic cannot construct a deadline- and coverage-feasible
+// assignment (which does not prove infeasibility). The budget constraint
+// is NOT enforced here — callers check it via Verify, and the local-search
+// improver may still push a slightly over-budget assignment under it.
+func RunHeuristic(in *Instance, h Heuristic) []int {
+	k, n := in.NumGSPs(), in.NumTasks()
+	if k == 0 || n < k {
+		return nil
+	}
+	switch h {
+	case HeuristicGreedyCost:
+		return greedyCost(in)
+	case HeuristicMCT:
+		return mct(in)
+	case HeuristicMinMin, HeuristicMaxMin, HeuristicSufferage:
+		return listSchedule(in, h)
+	default:
+		return nil
+	}
+}
+
+// greedyCost: coverage phase then cheapest-feasible phase. Deterministic:
+// ties break toward lower indices.
+func greedyCost(in *Instance) []int {
+	k, n := in.NumGSPs(), in.NumTasks()
+	assign := make([]int, n)
+	for j := range assign {
+		assign[j] = -1
+	}
+	load := make([]float64, k)
+	covered := make([]bool, k)
+
+	// Coverage: k rounds, each assigning the globally cheapest
+	// (uncovered GSP, unassigned task) pair that fits the deadline.
+	// Among candidate tasks prefer small-time ones implicitly via cost
+	// (costs are workload-monotone in the paper's instances).
+	for round := 0; round < k; round++ {
+		bestG, bestT := -1, -1
+		bestC := math.Inf(1)
+		for g := 0; g < k; g++ {
+			if covered[g] {
+				continue
+			}
+			for t := 0; t < n; t++ {
+				if assign[t] != -1 {
+					continue
+				}
+				if in.Time[g][t] > in.Deadline+Eps {
+					continue
+				}
+				if in.Cost[g][t] < bestC {
+					bestC, bestG, bestT = in.Cost[g][t], g, t
+				}
+			}
+		}
+		if bestG == -1 {
+			return nil // some GSP cannot take any remaining task
+		}
+		assign[bestT] = bestG
+		covered[bestG] = true
+		load[bestG] += in.Time[bestG][bestT]
+	}
+
+	// Fill: per task, cheapest GSP with capacity. Process tasks in
+	// descending time (hardest first) so capacity is spent where needed.
+	rest := make([]int, 0, n-k)
+	for t := 0; t < n; t++ {
+		if assign[t] == -1 {
+			rest = append(rest, t)
+		}
+	}
+	sort.SliceStable(rest, func(a, b int) bool {
+		return maxTime(in, rest[a]) > maxTime(in, rest[b])
+	})
+	for _, t := range rest {
+		bestG := -1
+		bestC := math.Inf(1)
+		for g := 0; g < k; g++ {
+			if load[g]+in.Time[g][t] > in.Deadline+Eps {
+				continue
+			}
+			if in.Cost[g][t] < bestC {
+				bestC, bestG = in.Cost[g][t], g
+			}
+		}
+		if bestG == -1 {
+			return nil
+		}
+		assign[t] = bestG
+		load[bestG] += in.Time[bestG][t]
+	}
+	return assign
+}
+
+func maxTime(in *Instance, t int) float64 {
+	m := 0.0
+	for g := range in.Time {
+		if in.Time[g][t] > m {
+			m = in.Time[g][t]
+		}
+	}
+	return m
+}
+
+// mct assigns tasks in index order to the GSP minimizing the completion
+// time (current load + task time), breaking ties by cheaper cost. A final
+// repair pass fixes coverage by stealing tasks for empty GSPs.
+func mct(in *Instance) []int {
+	k, n := in.NumGSPs(), in.NumTasks()
+	assign := make([]int, n)
+	load := make([]float64, k)
+	count := make([]int, k)
+	for t := 0; t < n; t++ {
+		bestG := -1
+		bestDone := math.Inf(1)
+		for g := 0; g < k; g++ {
+			done := load[g] + in.Time[g][t]
+			if done > in.Deadline+Eps {
+				continue
+			}
+			if done < bestDone-Eps ||
+				(done < bestDone+Eps && bestG >= 0 && in.Cost[g][t] < in.Cost[bestG][t]) {
+				bestDone, bestG = done, g
+			}
+		}
+		if bestG == -1 {
+			return nil
+		}
+		assign[t] = bestG
+		load[bestG] += in.Time[bestG][t]
+		count[bestG]++
+	}
+	if !repairCoverage(in, assign, load, count) {
+		return nil
+	}
+	return assign
+}
+
+// listSchedule implements Min-Min, Max-Min and Sufferage over completion
+// times, then repairs coverage. O(n²k); intended for n up to a few
+// thousand.
+func listSchedule(in *Instance, h Heuristic) []int {
+	k, n := in.NumGSPs(), in.NumTasks()
+	assign := make([]int, n)
+	for j := range assign {
+		assign[j] = -1
+	}
+	load := make([]float64, k)
+	count := make([]int, k)
+	remaining := n
+	for remaining > 0 {
+		pickT, pickG := -1, -1
+		pickKey := math.Inf(-1)
+		for t := 0; t < n; t++ {
+			if assign[t] != -1 {
+				continue
+			}
+			// Best and second-best completion times for task t.
+			bestG := -1
+			best, second := math.Inf(1), math.Inf(1)
+			for g := 0; g < k; g++ {
+				done := load[g] + in.Time[g][t]
+				if done > in.Deadline+Eps {
+					continue
+				}
+				if done < best {
+					second = best
+					best, bestG = done, g
+				} else if done < second {
+					second = done
+				}
+			}
+			if bestG == -1 {
+				return nil // task t cannot be scheduled at all
+			}
+			var key float64
+			switch h {
+			case HeuristicMinMin:
+				key = -best // smallest best completion wins
+			case HeuristicMaxMin:
+				key = best // largest best completion wins
+			case HeuristicSufferage:
+				if math.IsInf(second, 1) {
+					key = math.Inf(1) // only one feasible GSP: maximal sufferage
+				} else {
+					key = second - best
+				}
+			}
+			if key > pickKey {
+				pickKey, pickT, pickG = key, t, bestG
+			}
+		}
+		assign[pickT] = pickG
+		load[pickG] += in.Time[pickG][pickT]
+		count[pickG]++
+		remaining--
+	}
+	if !repairCoverage(in, assign, load, count) {
+		return nil
+	}
+	return assign
+}
+
+// repairCoverage moves tasks onto empty GSPs (constraint 13). For each
+// empty GSP it takes the cheapest-to-move task from a GSP that has at
+// least two, respecting the deadline. Returns false when repair fails.
+func repairCoverage(in *Instance, assign []int, load []float64, count []int) bool {
+	k := in.NumGSPs()
+	for g := 0; g < k; g++ {
+		if count[g] > 0 {
+			continue
+		}
+		bestT := -1
+		bestDelta := math.Inf(1)
+		for t, cur := range assign {
+			if count[cur] < 2 {
+				continue
+			}
+			if load[g]+in.Time[g][t] > in.Deadline+Eps {
+				continue
+			}
+			delta := in.Cost[g][t] - in.Cost[cur][t]
+			if delta < bestDelta {
+				bestDelta, bestT = delta, t
+			}
+		}
+		if bestT == -1 {
+			return false
+		}
+		src := assign[bestT]
+		assign[bestT] = g
+		load[src] -= in.Time[src][bestT]
+		count[src]--
+		load[g] += in.Time[g][bestT]
+		count[g]++
+	}
+	return true
+}
+
+// LocalSearch improves an assignment in place with single-task relocations:
+// move a task to a GSP where it is cheaper, if the target has deadline
+// capacity and the source keeps at least one task. Passes repeat until a
+// full pass finds no improvement (or maxPasses). Returns the improved cost.
+func LocalSearch(in *Instance, assign []int, maxPasses int) float64 {
+	k, n := in.NumGSPs(), in.NumTasks()
+	load := make([]float64, k)
+	count := make([]int, k)
+	for t, g := range assign {
+		load[g] += in.Time[g][t]
+		count[g]++
+	}
+	if maxPasses <= 0 {
+		maxPasses = 64
+	}
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		for t := 0; t < n; t++ {
+			cur := assign[t]
+			if count[cur] < 2 {
+				continue
+			}
+			bestG := cur
+			bestC := in.Cost[cur][t]
+			for g := 0; g < k; g++ {
+				if g == cur {
+					continue
+				}
+				if in.Cost[g][t] >= bestC-Eps {
+					continue
+				}
+				if load[g]+in.Time[g][t] > in.Deadline+Eps {
+					continue
+				}
+				bestG, bestC = g, in.Cost[g][t]
+			}
+			if bestG != cur {
+				load[cur] -= in.Time[cur][t]
+				count[cur]--
+				assign[t] = bestG
+				load[bestG] += in.Time[bestG][t]
+				count[bestG]++
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return TotalCost(in, assign)
+}

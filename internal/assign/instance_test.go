@@ -1,0 +1,123 @@
+package assign
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// tiny returns a 2-GSP, 3-task instance where the optimum is known by
+// inspection: costs force task 0,1 → GSP 0 and task 2 → GSP 1.
+func tiny() *Instance {
+	return &Instance{
+		Cost: [][]float64{
+			{1, 2, 9},
+			{8, 7, 3},
+		},
+		Time: [][]float64{
+			{1, 1, 1},
+			{1, 1, 1},
+		},
+		Deadline: 10,
+	}
+}
+
+func TestInstanceShape(t *testing.T) {
+	in := tiny()
+	if in.NumGSPs() != 2 || in.NumTasks() != 3 {
+		t.Fatalf("shape = %d,%d", in.NumGSPs(), in.NumTasks())
+	}
+	empty := &Instance{}
+	if empty.NumGSPs() != 0 || empty.NumTasks() != 0 {
+		t.Fatal("empty instance shape wrong")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := tiny()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []*Instance{
+		{Cost: [][]float64{{1}}, Time: [][]float64{}, Deadline: 1},
+		{Cost: [][]float64{{1, 2}}, Time: [][]float64{{1}}, Deadline: 1},
+		{Cost: [][]float64{{-1}}, Time: [][]float64{{1}}, Deadline: 1},
+		{Cost: [][]float64{{1}}, Time: [][]float64{{-1}}, Deadline: 1},
+		{Cost: [][]float64{{1}}, Time: [][]float64{{1}}, Deadline: 0},
+		{Cost: [][]float64{{math.NaN()}}, Time: [][]float64{{1}}, Deadline: 1},
+	}
+	for i, in := range cases {
+		if err := in.Validate(); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestVerifyDetectsViolations(t *testing.T) {
+	in := tiny()
+	ok := []int{0, 0, 1}
+	if err := Verify(in, ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(in, []int{0, 0}); !errors.Is(err, ErrWrongLength) {
+		t.Fatalf("short assignment: %v", err)
+	}
+	if err := Verify(in, []int{0, 0, 5}); !errors.Is(err, ErrUnassignedTask) {
+		t.Fatalf("bad gsp: %v", err)
+	}
+	if err := Verify(in, []int{0, 0, 0}); !errors.Is(err, ErrCoverageViolated) {
+		t.Fatalf("coverage: %v", err)
+	}
+	tight := tiny()
+	tight.Deadline = 1.5
+	if err := Verify(tight, []int{0, 0, 1}); !errors.Is(err, ErrDeadlineViolated) {
+		t.Fatalf("deadline: %v", err)
+	}
+	capped := tiny()
+	capped.Budget = 5 // optimal total is 6
+	if err := Verify(capped, []int{0, 0, 1}); !errors.Is(err, ErrBudgetViolated) {
+		t.Fatalf("budget: %v", err)
+	}
+}
+
+func TestTotalCost(t *testing.T) {
+	in := tiny()
+	if got := TotalCost(in, []int{0, 0, 1}); got != 6 {
+		t.Fatalf("TotalCost = %v, want 6", got)
+	}
+}
+
+func TestGap(t *testing.T) {
+	s := &Solution{Feasible: true, Cost: 12, LowerBound: 10}
+	if math.Abs(s.Gap()-0.2) > 1e-12 {
+		t.Fatalf("Gap = %v, want 0.2", s.Gap())
+	}
+	s.Optimal = true
+	if s.Gap() != 0 {
+		t.Fatal("optimal solution should report zero gap")
+	}
+	if (&Solution{}).Gap() != 0 {
+		t.Fatal("infeasible solution should report zero gap")
+	}
+}
+
+func TestLowerBoundTotal(t *testing.T) {
+	in := tiny()
+	if lb := lowerBoundTotal(in); lb != 6 { // 1 + 2 + 3
+		t.Fatalf("lowerBoundTotal = %v, want 6", lb)
+	}
+	if lb := lowerBoundTotal(&Instance{}); lb != 0 {
+		t.Fatalf("empty LB = %v", lb)
+	}
+}
+
+func TestBudgetCap(t *testing.T) {
+	in := tiny()
+	if !math.IsInf(in.budgetCap(), 1) {
+		t.Fatal("zero budget should be uncapped")
+	}
+	in.Budget = 7
+	if in.budgetCap() != 7 {
+		t.Fatal("budget lost")
+	}
+}

@@ -1,0 +1,156 @@
+package assign
+
+import (
+	"math"
+	"sort"
+)
+
+// MinMakespan computes (or bounds) the minimum achievable makespan of an
+// instance: the smallest deadline d for which a task assignment exists
+// where every GSP finishes by d (ignoring costs, budget and the coverage
+// constraint — pure R||C_max on unrelated machines). The harness uses it
+// to report how tight a scenario's Table I deadline is
+// (deadline / MinMakespan), and tests use it as an independent
+// feasibility oracle: an instance with Deadline < MinMakespan is
+// infeasible no matter what the cost solver does.
+//
+// The search is branch-and-bound on tasks in descending max-duration
+// order, pruning on the incumbent makespan, warm-started with an LPT
+// (longest processing time, earliest-finish) schedule. The same node
+// budget semantics as Solve apply; when the budget is exhausted the
+// returned value is the incumbent (an upper bound) and optimal is false.
+func MinMakespan(in *Instance, opts Options) (makespan float64, optimal bool) {
+	if err := in.Validate(); err != nil {
+		panic(err)
+	}
+	k, n := in.NumGSPs(), in.NumTasks()
+	if k == 0 || n == 0 {
+		return 0, true
+	}
+	budget := opts.NodeBudget
+	if budget == 0 {
+		budget = DefaultNodeBudget
+	}
+
+	// Branch order: hardest task first.
+	order := make([]int, n)
+	for j := range order {
+		order[j] = j
+	}
+	maxT := make([]float64, n)
+	for j := 0; j < n; j++ {
+		maxT[j] = maxTime(in, j)
+	}
+	sort.SliceStable(order, func(a, b int) bool { return maxT[order[a]] > maxT[order[b]] })
+
+	// LPT incumbent: assign each task (descending) to the GSP with the
+	// earliest finish.
+	load := make([]float64, k)
+	for _, t := range order {
+		best := 0
+		for g := 1; g < k; g++ {
+			if load[g]+in.Time[g][t] < load[best]+in.Time[best][t] {
+				best = g
+			}
+		}
+		load[best] += in.Time[best][t]
+	}
+	incumbent := 0.0
+	for _, l := range load {
+		if l > incumbent {
+			incumbent = l
+		}
+	}
+
+	// Lower bound: max over tasks of the fastest execution, and total
+	// fastest work / k.
+	lb := 0.0
+	totalMin := 0.0
+	for j := 0; j < n; j++ {
+		m := in.Time[0][j]
+		for g := 1; g < k; g++ {
+			if in.Time[g][j] < m {
+				m = in.Time[g][j]
+			}
+		}
+		if m > lb {
+			lb = m
+		}
+		totalMin += m
+	}
+	if avg := totalMin / float64(k); avg > lb {
+		lb = avg
+	}
+	if incumbent <= lb+Eps {
+		return incumbent, true
+	}
+
+	ms := &makespanSearcher{
+		in: in, k: k, n: n, order: order,
+		budget: budget, best: incumbent,
+	}
+	ms.load = make([]float64, k)
+	ms.dfs(0, 0)
+	return ms.best, !ms.aborted || ms.best <= lb+Eps
+}
+
+type makespanSearcher struct {
+	in      *Instance
+	k, n    int
+	order   []int
+	load    []float64
+	best    float64
+	nodes   int64
+	budget  int64
+	aborted bool
+}
+
+func (s *makespanSearcher) dfs(pos int, cur float64) {
+	if s.aborted {
+		return
+	}
+	s.nodes++
+	if s.budget > 0 && s.nodes > s.budget {
+		s.aborted = true
+		return
+	}
+	if cur >= s.best-Eps {
+		return
+	}
+	if pos == s.n {
+		s.best = cur
+		return
+	}
+	t := s.order[pos]
+	// No symmetry pruning: on unrelated machines two GSPs are never
+	// interchangeable (equal loads or even equal durations for this task
+	// say nothing about future tasks), so every branch must be explored.
+	for g := 0; g < s.k; g++ {
+		nl := s.load[g] + s.in.Time[g][t]
+		if nl >= s.best-Eps {
+			continue
+		}
+		next := cur
+		if nl > next {
+			next = nl
+		}
+		s.load[g] = nl
+		s.dfs(pos+1, next)
+		s.load[g] = nl - s.in.Time[g][t]
+		if s.aborted {
+			return
+		}
+	}
+}
+
+// DeadlineTightness reports deadline / MinMakespan for an instance — 1.0
+// means the deadline is exactly at the feasibility edge, below 1.0 the
+// instance is deadline-infeasible regardless of costs. Infinity when the
+// instance is trivially schedulable (no tasks or no GSPs).
+func DeadlineTightness(in *Instance, opts Options) float64 {
+	ms, _ := MinMakespan(in, opts)
+	if ms <= 0 {
+		return math.Inf(1)
+	}
+	return in.Deadline / ms
+}

@@ -1,0 +1,137 @@
+package assign
+
+import (
+	"math"
+	"testing"
+
+	"gridvo/internal/xrand"
+)
+
+func TestMinMakespanKnownOptimum(t *testing.T) {
+	// Two identical machines, tasks {3,3,2,2,2}: optimum is 6.
+	in := &Instance{
+		Cost:     [][]float64{{1, 1, 1, 1, 1}, {1, 1, 1, 1, 1}},
+		Time:     [][]float64{{3, 3, 2, 2, 2}, {3, 3, 2, 2, 2}},
+		Deadline: 100,
+	}
+	ms, optimal := MinMakespan(in, Options{})
+	if !optimal {
+		t.Fatal("tiny instance not proven optimal")
+	}
+	if math.Abs(ms-6) > 1e-9 {
+		t.Fatalf("makespan = %v, want 6", ms)
+	}
+}
+
+func TestMinMakespanUnrelatedMachines(t *testing.T) {
+	// Machine 0 fast on task 0, machine 1 fast on task 1: optimum 1.
+	in := &Instance{
+		Cost:     [][]float64{{1, 1}, {1, 1}},
+		Time:     [][]float64{{1, 10}, {10, 1}},
+		Deadline: 100,
+	}
+	ms, optimal := MinMakespan(in, Options{})
+	if !optimal || math.Abs(ms-1) > 1e-9 {
+		t.Fatalf("makespan = %v optimal=%v, want 1, true", ms, optimal)
+	}
+}
+
+func TestMinMakespanSingleMachine(t *testing.T) {
+	in := &Instance{
+		Cost:     [][]float64{{1, 1, 1}},
+		Time:     [][]float64{{2, 3, 4}},
+		Deadline: 100,
+	}
+	ms, optimal := MinMakespan(in, Options{})
+	if !optimal || math.Abs(ms-9) > 1e-9 {
+		t.Fatalf("makespan = %v, want 9", ms)
+	}
+}
+
+func TestMinMakespanDegenerate(t *testing.T) {
+	if ms, opt := MinMakespan(&Instance{}, Options{}); ms != 0 || !opt {
+		t.Fatal("empty instance makespan wrong")
+	}
+}
+
+func TestMinMakespanIsFeasibilityOracle(t *testing.T) {
+	// Whenever Deadline < MinMakespan, Solve must report infeasible
+	// (MinMakespan relaxes coverage/budget, so it lower-bounds the IP's
+	// deadline feasibility threshold).
+	rng := xrand.New(1)
+	for trial := 0; trial < 30; trial++ {
+		in := randomInstance(rng.SplitN("mk", trial), rng.UniformInt(1, 4), rng.UniformInt(4, 12), 1.0)
+		ms, optimal := MinMakespan(in, Options{})
+		if !optimal {
+			continue
+		}
+		tight := *in
+		tight.Deadline = ms * 0.9
+		if sol := Solve(&tight, Options{}); sol.Feasible {
+			t.Fatalf("trial %d: feasible below the makespan bound (%v < %v)", trial, tight.Deadline, ms)
+		}
+		// And at a comfortably larger deadline the instance (with
+		// n >= k) should usually be feasible; at least never violate
+		// the oracle direction.
+		loose := *in
+		loose.Deadline = ms * 4
+		if in.NumTasks() >= in.NumGSPs() {
+			if sol := Solve(&loose, Options{}); !sol.Feasible {
+				t.Fatalf("trial %d: infeasible at 4x the optimal makespan", trial)
+			}
+		}
+	}
+}
+
+func TestMinMakespanUpperBoundsLPT(t *testing.T) {
+	// The exact result never exceeds the LPT schedule it starts from.
+	rng := xrand.New(2)
+	for trial := 0; trial < 20; trial++ {
+		in := randomInstance(rng.SplitN("lpt", trial), 3, 10, 1.0)
+		ms, _ := MinMakespan(in, Options{})
+		// Recompute LPT the same way.
+		k, n := in.NumGSPs(), in.NumTasks()
+		load := make([]float64, k)
+		for t2 := 0; t2 < n; t2++ {
+			best := 0
+			for g := 1; g < k; g++ {
+				if load[g]+in.Time[g][t2] < load[best]+in.Time[best][t2] {
+					best = g
+				}
+			}
+			load[best] += in.Time[best][t2]
+		}
+		lpt := 0.0
+		for _, l := range load {
+			if l > lpt {
+				lpt = l
+			}
+		}
+		if ms > lpt+1e-9 {
+			t.Fatalf("trial %d: makespan %v above LPT %v", trial, ms, lpt)
+		}
+	}
+}
+
+func TestDeadlineTightness(t *testing.T) {
+	in := &Instance{
+		Cost:     [][]float64{{1}},
+		Time:     [][]float64{{5}},
+		Deadline: 10,
+	}
+	if got := DeadlineTightness(in, Options{}); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("tightness = %v, want 2", got)
+	}
+	if !math.IsInf(DeadlineTightness(&Instance{}, Options{}), 1) {
+		t.Fatal("degenerate tightness not +Inf")
+	}
+}
+
+func TestMinMakespanNodeBudget(t *testing.T) {
+	rng := xrand.New(3)
+	in := randomInstance(rng, 6, 24, 1.0)
+	ms, _ := MinMakespan(in, Options{NodeBudget: 50})
+	if ms <= 0 {
+		t.Fatal("budgeted makespan lost the incumbent")
+	}
+}

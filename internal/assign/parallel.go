@@ -1,0 +1,131 @@
+package assign
+
+import (
+	"math"
+	"runtime"
+	"sync"
+)
+
+// SolveParallel is Solve with the branch-and-bound root split across a
+// worker pool: the first branching task's GSP choices partition the search
+// space into disjoint subtrees, each explored by an independent searcher.
+// The partition is fixed, each subtree gets an equal share of the node
+// budget, and workers do not exchange bounds, so the result is
+// deterministic regardless of scheduling — the merge of per-subtree optima
+// is the global optimum whenever no subtree hit its budget.
+//
+// Not sharing incumbents across workers costs some pruning power compared
+// to an ideal parallel B&B; the heuristic incumbent (computed once,
+// serially) still seeds every subtree, which recovers most of it in
+// practice. workers <= 0 selects GOMAXPROCS.
+func SolveParallel(in *Instance, opts Options, workers int) Solution {
+	if err := in.Validate(); err != nil {
+		panic(err)
+	}
+	k, n := in.NumGSPs(), in.NumTasks()
+	sol := Solution{LowerBound: lowerBoundTotal(in)}
+	if k == 0 {
+		sol.Feasible = n == 0
+		sol.Optimal = true
+		sol.Assign = []int{}
+		return sol
+	}
+	if n < k {
+		sol.Optimal = true
+		return sol
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	budget := opts.NodeBudget
+	if budget == 0 {
+		budget = DefaultNodeBudget
+	}
+	perSubtree := budget
+	if budget > 0 {
+		perSubtree = budget / int64(k)
+		if perSubtree < 1 {
+			perSubtree = 1
+		}
+	}
+
+	// Shared heuristic incumbent, computed once.
+	incumbentCost := math.Inf(1)
+	var incumbentAssign []int
+	if !opts.DisableHeuristics {
+		candidates := []Heuristic{HeuristicGreedyCost, HeuristicMCT}
+		if n <= 1024 {
+			candidates = append(candidates, HeuristicMinMin, HeuristicSufferage)
+		}
+		for _, h := range candidates {
+			a := RunHeuristic(in, h)
+			if a == nil {
+				continue
+			}
+			LocalSearch(in, a, opts.LocalSearchPasses)
+			if Verify(in, a) != nil {
+				continue
+			}
+			if c := TotalCost(in, a); c < incumbentCost {
+				incumbentCost = c
+				incumbentAssign = append(incumbentAssign[:0], a...)
+			}
+		}
+	}
+
+	results := make([]*searcher, k)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for g := 0; g < k; g++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(root int) {
+			defer func() {
+				<-sem
+				wg.Done()
+			}()
+			s := &searcher{
+				in:       in,
+				k:        k,
+				n:        n,
+				budget:   perSubtree,
+				bestCost: incumbentCost,
+				cap:      in.budgetCap(),
+				rootOnly: root,
+			}
+			if incumbentAssign != nil {
+				s.bestAssign = append([]int(nil), incumbentAssign...)
+			}
+			s.prepare()
+			s.dfs(0, 0)
+			results[root] = s
+		}(g)
+	}
+	wg.Wait()
+
+	best := incumbentCost
+	bestAssign := incumbentAssign
+	allComplete := true
+	for _, s := range results {
+		sol.Nodes += s.nodes
+		if s.aborted {
+			allComplete = false
+			sol.NodeBudgetHit = true
+		}
+		if s.bestAssign != nil && s.bestCost < best {
+			best = s.bestCost
+			bestAssign = s.bestAssign
+		}
+	}
+	if bestAssign != nil {
+		sol.Feasible = true
+		sol.Cost = best
+		sol.Assign = append([]int(nil), bestAssign...)
+	}
+	sol.Optimal = allComplete
+	if sol.Feasible && sol.Cost <= sol.LowerBound+Eps {
+		sol.Optimal = true
+	}
+	return sol
+}

@@ -1,0 +1,92 @@
+package assign
+
+import (
+	"math"
+	"testing"
+
+	"gridvo/internal/xrand"
+)
+
+func TestSolveParallelMatchesSerialOptimum(t *testing.T) {
+	rng := xrand.New(1)
+	for trial := 0; trial < 40; trial++ {
+		k := rng.UniformInt(1, 4)
+		n := rng.UniformInt(k, 9)
+		in := randomInstance(rng.SplitN("p", trial), k, n, rng.Uniform(0.3, 1.5))
+		serial := Solve(in, Options{})
+		par := SolveParallel(in, Options{}, 4)
+		if serial.Feasible != par.Feasible {
+			t.Fatalf("trial %d: feasibility mismatch serial=%v parallel=%v", trial, serial.Feasible, par.Feasible)
+		}
+		if !serial.Feasible {
+			continue
+		}
+		if !serial.Optimal || !par.Optimal {
+			t.Fatalf("trial %d: small instance not proven optimal (serial=%v parallel=%v)",
+				trial, serial.Optimal, par.Optimal)
+		}
+		if math.Abs(serial.Cost-par.Cost) > 1e-6 {
+			t.Fatalf("trial %d: cost mismatch serial=%v parallel=%v", trial, serial.Cost, par.Cost)
+		}
+		if err := Verify(in, par.Assign); err != nil {
+			t.Fatalf("trial %d: parallel solution invalid: %v", trial, err)
+		}
+	}
+}
+
+func TestSolveParallelDeterministic(t *testing.T) {
+	rng := xrand.New(2)
+	in := randomInstance(rng, 4, 14, 1.0)
+	a := SolveParallel(in, Options{}, 3)
+	b := SolveParallel(in, Options{}, 7) // different worker count, same partition
+	if a.Cost != b.Cost || a.Nodes != b.Nodes || a.Feasible != b.Feasible {
+		t.Fatalf("parallel solve depends on worker count: %v/%d vs %v/%d",
+			a.Cost, a.Nodes, b.Cost, b.Nodes)
+	}
+}
+
+func TestSolveParallelDegenerate(t *testing.T) {
+	sol := SolveParallel(&Instance{}, Options{}, 2)
+	if !sol.Feasible || !sol.Optimal {
+		t.Fatalf("empty instance: %+v", sol)
+	}
+	in := &Instance{
+		Cost:     [][]float64{{1, 1}, {1, 1}, {1, 1}},
+		Time:     [][]float64{{1, 1}, {1, 1}, {1, 1}},
+		Deadline: 10,
+	}
+	if sol := SolveParallel(in, Options{}, 2); sol.Feasible || !sol.Optimal {
+		t.Fatalf("coverage-infeasible instance: %+v", sol)
+	}
+}
+
+func TestSolveParallelBudgetSplit(t *testing.T) {
+	rng := xrand.New(3)
+	in := randomInstance(rng, 8, 40, 1.0)
+	sol := SolveParallel(in, Options{NodeBudget: 800}, 0)
+	if sol.Feasible {
+		if err := Verify(in, sol.Assign); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 8 subtrees × 100 nodes each, plus one overflow node per subtree.
+	if sol.Nodes > 8*101 {
+		t.Fatalf("nodes = %d exceeds split budget", sol.Nodes)
+	}
+}
+
+func TestSolveParallelWithoutHeuristics(t *testing.T) {
+	sol := SolveParallel(tiny(), Options{DisableHeuristics: true}, 2)
+	if !sol.Feasible || sol.Cost != 6 {
+		t.Fatalf("raw parallel search failed: %+v", sol)
+	}
+}
+
+func TestSolveParallelValidatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid instance did not panic")
+		}
+	}()
+	SolveParallel(&Instance{Cost: [][]float64{{1}}, Time: [][]float64{}}, Options{}, 2)
+}

@@ -1,0 +1,108 @@
+package coalition
+
+import (
+	"fmt"
+
+	"gridvo/internal/lp"
+)
+
+// Core analytics via linear programming. The core of (G, v) is the set of
+// payoff vectors ψ with Σψ = v(N) and Σ_{i∈S} ψᵢ ≥ v(S) for every
+// coalition S — one LP constraint per coalition, so these routines are
+// exponential in the player count and capped accordingly. They power the
+// analysis examples and tests; the mechanism itself never needs them (the
+// paper's prior work showed the VO formation game can have an empty core,
+// which motivates TVOF's single-VO design).
+
+// maxLPPlayers caps the LP-based analytics: 2^12 = 4096 constraints keeps
+// the dense simplex comfortably fast.
+const maxLPPlayers = 12
+
+// CoreImputation decides core non-emptiness exactly: it returns a payoff
+// vector in the core, or ok = false when the core is empty. Capped at 12
+// players (the LP has 2^n − 1 constraints).
+func (g *Game) CoreImputation() (psi []float64, ok bool) {
+	if g.n == 0 {
+		return nil, true
+	}
+	if g.n > maxLPPlayers {
+		panic(fmt.Sprintf("coalition: CoreImputation limited to %d players, got %d", maxLPPlayers, g.n))
+	}
+	p := lp.NewProblem(g.n)
+	// Any feasible point will do; minimize Σψ (constant on the
+	// efficiency hyperplane) to keep the objective trivial.
+	obj := make([]float64, g.n)
+	for i := range obj {
+		obj[i] = 1
+	}
+	p.Minimize(obj)
+
+	grand := make([]float64, g.n)
+	for i := range grand {
+		grand[i] = 1
+	}
+	p.AddConstraint(grand, lp.EQ, g.Value(g.GrandCoalition()))
+
+	total := uint64(1) << uint(g.n)
+	for mask := uint64(1); mask < total-1; mask++ {
+		members := Members(mask)
+		v := g.Value(members)
+		if v <= 0 {
+			continue // ψ ≥ 0 implies the constraint
+		}
+		row := make([]float64, g.n)
+		for _, i := range members {
+			row[i] = 1
+		}
+		p.AddConstraint(row, lp.GE, v)
+	}
+	sol := p.Solve()
+	if sol.Status != lp.Optimal {
+		return nil, false
+	}
+	return sol.X, true
+}
+
+// LeastCoreEpsilon computes the least-core relaxation ε*: the smallest ε
+// such that some efficient ψ satisfies Σ_{i∈S} ψᵢ ≥ v(S) − ε for every
+// proper coalition S. ε* ≤ 0 iff the core is non-empty; its magnitude
+// measures how far the game is from admitting a stable grand-coalition
+// split. Returns the optimal ε and a payoff vector attaining it.
+func (g *Game) LeastCoreEpsilon() (epsilon float64, psi []float64, err error) {
+	if g.n == 0 {
+		return 0, nil, nil
+	}
+	if g.n > maxLPPlayers {
+		return 0, nil, fmt.Errorf("coalition: LeastCoreEpsilon limited to %d players, got %d", maxLPPlayers, g.n)
+	}
+	// Variables: ψ₀..ψ_{n-1}, ε⁺, ε⁻ (ε = ε⁺ − ε⁻ may be negative).
+	n := g.n
+	p := lp.NewProblem(n + 2)
+	obj := make([]float64, n+2)
+	obj[n] = 1
+	obj[n+1] = -1
+	p.Minimize(obj)
+
+	grand := make([]float64, n+2)
+	for i := 0; i < n; i++ {
+		grand[i] = 1
+	}
+	p.AddConstraint(grand, lp.EQ, g.Value(g.GrandCoalition()))
+
+	total := uint64(1) << uint(n)
+	for mask := uint64(1); mask < total-1; mask++ {
+		members := Members(mask)
+		row := make([]float64, n+2)
+		for _, i := range members {
+			row[i] = 1
+		}
+		row[n] = 1    // +ε⁺
+		row[n+1] = -1 // −ε⁻
+		p.AddConstraint(row, lp.GE, g.Value(members))
+	}
+	sol := p.Solve()
+	if sol.Status != lp.Optimal {
+		return 0, nil, fmt.Errorf("coalition: least-core LP %v", sol.Status)
+	}
+	return sol.X[n] - sol.X[n+1], sol.X[:n], nil
+}

@@ -1,0 +1,117 @@
+package coalition
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCoreImputationAdditive(t *testing.T) {
+	g := additive([]float64{1, 2, 3})
+	psi, ok := g.CoreImputation()
+	if !ok {
+		t.Fatal("additive game has a non-empty core")
+	}
+	inCore, blocking := g.InCore(psi, 1e-6)
+	if !inCore {
+		t.Fatalf("LP imputation %v not in core; blocked by %v", psi, blocking)
+	}
+}
+
+func TestCoreImputationMajorityEmpty(t *testing.T) {
+	if _, ok := majority3().CoreImputation(); ok {
+		t.Fatal("3-player majority game has an empty core")
+	}
+}
+
+func TestCoreImputationEmptyGame(t *testing.T) {
+	g := NewGame(0, func([]int) float64 { return 0 })
+	if _, ok := g.CoreImputation(); !ok {
+		t.Fatal("empty game core check failed")
+	}
+}
+
+func TestCoreImputationCapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized CoreImputation did not panic")
+		}
+	}()
+	additive(make([]float64, 13)).CoreImputation()
+}
+
+func TestLeastCoreMajority(t *testing.T) {
+	// 3-player majority game: least-core ε* = 1/3 at ψ = (1/3,1/3,1/3).
+	eps, psi, err := majority3().LeastCoreEpsilon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eps-1.0/3) > 1e-6 {
+		t.Fatalf("ε* = %v, want 1/3", eps)
+	}
+	for _, p := range psi {
+		if math.Abs(p-1.0/3) > 1e-6 {
+			t.Fatalf("least-core ψ = %v, want uniform 1/3", psi)
+		}
+	}
+}
+
+func TestLeastCoreNonPositiveWhenCoreNonEmpty(t *testing.T) {
+	g := additive([]float64{2, 5})
+	eps, psi, err := g.LeastCoreEpsilon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps > 1e-6 {
+		t.Fatalf("ε* = %v > 0 despite non-empty core", eps)
+	}
+	sum := 0.0
+	for _, p := range psi {
+		sum += p
+	}
+	if math.Abs(sum-7) > 1e-6 {
+		t.Fatalf("least-core ψ not efficient: %v", psi)
+	}
+}
+
+func TestLeastCoreConsistentWithCoreImputation(t *testing.T) {
+	// For several small games, core non-emptiness (LP feasibility) and
+	// ε* ≤ 0 must agree.
+	games := []*Game{
+		additive([]float64{1, 1, 1}),
+		majority3(),
+		NewGame(3, func(members []int) float64 {
+			// Superadditive convex-ish game: n².
+			return float64(len(members) * len(members))
+		}),
+		NewGame(4, func(members []int) float64 {
+			if len(members) >= 3 {
+				return 10
+			}
+			return 0
+		}),
+	}
+	for gi, g := range games {
+		_, hasCore := g.CoreImputation()
+		eps, _, err := g.LeastCoreEpsilon()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hasCore != (eps <= 1e-6) {
+			t.Fatalf("game %d: core-nonempty=%v but ε*=%v", gi, hasCore, eps)
+		}
+	}
+}
+
+func TestLeastCoreOversized(t *testing.T) {
+	if _, _, err := additive(make([]float64, 13)).LeastCoreEpsilon(); err == nil {
+		t.Fatal("oversized least-core accepted")
+	}
+}
+
+func TestLeastCoreEmptyGame(t *testing.T) {
+	g := NewGame(0, func([]int) float64 { return 0 })
+	eps, psi, err := g.LeastCoreEpsilon()
+	if err != nil || eps != 0 || psi != nil {
+		t.Fatal("empty game least core wrong")
+	}
+}

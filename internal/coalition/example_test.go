@@ -1,0 +1,35 @@
+package coalition_test
+
+import (
+	"fmt"
+
+	"gridvo/internal/coalition"
+)
+
+// ExampleGame demonstrates the coalitional-game analytics on the classic
+// 3-player majority game (v(S)=1 iff |S| ≥ 2): symmetric Shapley values,
+// an empty core, and the least-core relaxation ε* = 1/3.
+func ExampleGame() {
+	g := coalition.NewGame(3, func(members []int) float64 {
+		if len(members) >= 2 {
+			return 1
+		}
+		return 0
+	})
+
+	phi := g.Shapley()
+	fmt.Printf("Shapley: %.3f %.3f %.3f\n", phi[0], phi[1], phi[2])
+
+	_, hasCore := g.CoreImputation()
+	fmt.Printf("core non-empty: %v\n", hasCore)
+
+	eps, _, err := g.LeastCoreEpsilon()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("least-core epsilon: %.3f\n", eps)
+	// Output:
+	// Shapley: 0.333 0.333 0.333
+	// core non-empty: false
+	// least-core epsilon: 0.333
+}

@@ -1,0 +1,84 @@
+package coalition
+
+import "testing"
+
+func TestIsSuperadditive(t *testing.T) {
+	// Additive games are superadditive (with equality).
+	ok, _ := additive([]float64{1, 2, 3}).IsSuperadditive(1e-9)
+	if !ok {
+		t.Fatal("additive game not superadditive")
+	}
+	// Strictly subadditive: singletons worth 1, everything else 0.
+	sub := NewGame(3, func(members []int) float64 {
+		if len(members) == 1 {
+			return 1
+		}
+		return 0
+	})
+	ok, witness := sub.IsSuperadditive(1e-9)
+	if ok {
+		t.Fatal("subadditive game reported superadditive")
+	}
+	if len(witness[0]) == 0 || len(witness[1]) == 0 {
+		t.Fatal("no witness returned")
+	}
+	// Witness must actually violate the inequality.
+	s, tt := witness[0], witness[1]
+	union := append(append([]int(nil), s...), tt...)
+	if sub.Value(union) >= sub.Value(s)+sub.Value(tt) {
+		t.Fatal("witness does not violate superadditivity")
+	}
+}
+
+func TestIsConvex(t *testing.T) {
+	// v(S) = |S|² is convex (marginals 2|S|+1 grow with |S|).
+	convex := NewGame(4, func(members []int) float64 {
+		return float64(len(members) * len(members))
+	})
+	if ok, _, _ := convex.IsConvex(1e-9); !ok {
+		t.Fatal("quadratic game not recognized as convex")
+	}
+	// The 3-player majority game is superadditive but NOT convex:
+	// adding a player to a 1-coalition gains 1, to a 2-coalition gains 0.
+	if ok, i, witness := majority3().IsConvex(1e-9); ok {
+		t.Fatal("majority game reported convex")
+	} else {
+		if i < 0 {
+			t.Fatal("no witness player")
+		}
+		_ = witness
+	}
+	if ok, _ := majority3().IsSuperadditive(1e-9); !ok {
+		t.Fatal("majority game should be superadditive")
+	}
+}
+
+func TestConvexImpliesNonEmptyCore(t *testing.T) {
+	// Shapley's theorem: convex ⇒ core non-empty. Cross-check both
+	// implementations on the quadratic game.
+	convex := NewGame(4, func(members []int) float64 {
+		return float64(len(members) * len(members))
+	})
+	if ok, _, _ := convex.IsConvex(1e-9); !ok {
+		t.Fatal("setup: game not convex")
+	}
+	if _, hasCore := convex.CoreImputation(); !hasCore {
+		t.Fatal("convex game has an empty core?!")
+	}
+}
+
+func TestPropertyCapsPanic(t *testing.T) {
+	for i, f := range []func(){
+		func() { additive(make([]float64, 15)).IsSuperadditive(0) },
+		func() { additive(make([]float64, 11)).IsConvex(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,160 @@
+package coalition
+
+import (
+	"testing"
+)
+
+func TestOutcomePreference(t *testing.T) {
+	a := Outcome{Payoff: 2, Reputation: 0.5}
+	b := Outcome{Payoff: 1, Reputation: 0.5}
+	c := Outcome{Payoff: 2, Reputation: 0.4}
+	d := Outcome{Payoff: 1, Reputation: 0.9}
+	if !a.Prefers(b) || !a.Prefers(c) {
+		t.Fatal("dominance not detected")
+	}
+	if a.Prefers(a) {
+		t.Fatal("outcome strictly prefers itself")
+	}
+	if !a.WeaklyPrefers(a) {
+		t.Fatal("outcome does not weakly prefer itself")
+	}
+	// Incomparable outcomes: neither strictly preferred.
+	if a.Prefers(d) || d.Prefers(a) {
+		t.Fatal("incomparable outcomes reported as dominated")
+	}
+}
+
+func TestIsIndividuallyStableSingleton(t *testing.T) {
+	stable, who := IsIndividuallyStable([]int{3}, nil)
+	if !stable || who != -1 {
+		t.Fatal("singleton must be stable")
+	}
+	stable, _ = IsIndividuallyStable(nil, nil)
+	if !stable {
+		t.Fatal("empty coalition must be stable")
+	}
+}
+
+func TestIsIndividuallyStableDetectsFreeloader(t *testing.T) {
+	// Member 2 drags the outcome down: everyone strictly prefers the
+	// coalition without it.
+	eval := func(member int, coalition []int) Outcome {
+		has2 := false
+		for _, g := range coalition {
+			if g == 2 {
+				has2 = true
+			}
+		}
+		if has2 {
+			return Outcome{Payoff: 1, Reputation: 0.2}
+		}
+		return Outcome{Payoff: 5, Reputation: 0.8}
+	}
+	stable, who := IsIndividuallyStable([]int{0, 1, 2}, eval)
+	if stable {
+		t.Fatal("freeloader coalition reported stable")
+	}
+	if who != 2 {
+		t.Fatalf("destabilizer = %d, want 2", who)
+	}
+}
+
+func TestIsIndividuallyStableWhenRemovalHurts(t *testing.T) {
+	// Payoff grows with size: removing anyone hurts the rest.
+	eval := func(member int, coalition []int) Outcome {
+		return Outcome{Payoff: float64(len(coalition)), Reputation: 0.5}
+	}
+	stable, _ := IsIndividuallyStable([]int{0, 1, 2, 3}, eval)
+	if !stable {
+		t.Fatal("growing-payoff coalition reported unstable")
+	}
+}
+
+func TestIsIndividuallyStableWeakIndifference(t *testing.T) {
+	// Removal leaves everyone exactly indifferent: nobody strictly
+	// gains, so nothing destabilizes the coalition (see the strictness
+	// discussion on IsIndividuallyStable).
+	eval := func(member int, coalition []int) Outcome {
+		return Outcome{Payoff: 1, Reputation: 0.5}
+	}
+	stable, _ := IsIndividuallyStable([]int{0, 1}, eval)
+	if !stable {
+		t.Fatal("indifferent coalition should be stable: no member strictly gains")
+	}
+}
+
+func TestParetoFront(t *testing.T) {
+	cands := []Candidate{
+		{Members: []int{0}, Outcome: Outcome{Payoff: 1, Reputation: 0.9}}, // front
+		{Members: []int{1}, Outcome: Outcome{Payoff: 3, Reputation: 0.5}}, // front
+		{Members: []int{2}, Outcome: Outcome{Payoff: 2, Reputation: 0.4}}, // dominated by 1
+		{Members: []int{3}, Outcome: Outcome{Payoff: 3, Reputation: 0.6}}, // front, dominates 1
+	}
+	front := ParetoFront(cands)
+	ids := map[int]bool{}
+	for _, c := range front {
+		ids[c.Members[0]] = true
+	}
+	if ids[2] {
+		t.Fatal("dominated candidate in front")
+	}
+	if !ids[0] || !ids[3] {
+		t.Fatalf("front members wrong: %v", ids)
+	}
+	// Candidate 1 is dominated by 3 (3 ≥ 3 payoff and 0.6 > 0.5).
+	if ids[1] {
+		t.Fatal("candidate 1 should be dominated by candidate 3")
+	}
+	if got := ParetoFront(nil); got != nil {
+		t.Fatal("empty front wrong")
+	}
+}
+
+func TestParetoFrontKeepsDuplicates(t *testing.T) {
+	cands := []Candidate{
+		{Members: []int{0}, Outcome: Outcome{Payoff: 1, Reputation: 1}},
+		{Members: []int{1}, Outcome: Outcome{Payoff: 1, Reputation: 1}},
+	}
+	if got := ParetoFront(cands); len(got) != 2 {
+		t.Fatalf("duplicate outcomes dropped: %d", len(got))
+	}
+}
+
+func TestBestByPayoff(t *testing.T) {
+	cands := []Candidate{
+		{Outcome: Outcome{Payoff: 1, Reputation: 0.5}},
+		{Outcome: Outcome{Payoff: 3, Reputation: 0.2}},
+		{Outcome: Outcome{Payoff: 3, Reputation: 0.9}},
+	}
+	if got := BestByPayoff(cands); got != 2 {
+		t.Fatalf("BestByPayoff = %d, want 2 (payoff tie broken by reputation)", got)
+	}
+	if BestByPayoff(nil) != -1 {
+		t.Fatal("empty BestByPayoff != -1")
+	}
+}
+
+func TestBestByProduct(t *testing.T) {
+	cands := []Candidate{
+		{Outcome: Outcome{Payoff: 10, Reputation: 0.1}}, // product 1.0
+		{Outcome: Outcome{Payoff: 3, Reputation: 0.5}},  // product 1.5
+		{Outcome: Outcome{Payoff: 2, Reputation: 0.6}},  // product 1.2
+	}
+	if got := BestByProduct(cands); got != 1 {
+		t.Fatalf("BestByProduct = %d, want 1", got)
+	}
+	if BestByProduct(nil) != -1 {
+		t.Fatal("empty BestByProduct != -1")
+	}
+}
+
+func TestSortedMembers(t *testing.T) {
+	in := []int{3, 1, 2}
+	got := SortedMembers(in)
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("SortedMembers = %v", got)
+	}
+	if in[0] != 3 {
+		t.Fatal("input mutated")
+	}
+}

@@ -1,0 +1,142 @@
+package coalition
+
+import "fmt"
+
+// Coalition-structure generation (Section II-C defines CS = {S₁,…,S_h} as
+// a partition of the players). The paper's mechanism sidesteps optimal
+// coalition-structure generation — only one VO executes the program — but
+// the analytics here quantify what that shortcut costs: the optimal
+// structure's social welfare is an upper bound on any single coalition's
+// value.
+
+// maxStructurePlayers caps the O(3^n) dynamic program; 3^13 ≈ 1.6M subset
+// pairs stays fast.
+const maxStructurePlayers = 13
+
+// OptimalStructure computes a coalition structure maximizing the sum of
+// coalition values, by the standard dynamic program over subsets:
+// best(S) = max over the subset S' ⊆ S containing S's lowest player of
+// v(S') + best(S∖S'). Returns the partition and its total value.
+// It panics beyond maxStructurePlayers players.
+func (g *Game) OptimalStructure() (structure [][]int, total float64) {
+	if g.n == 0 {
+		return nil, 0
+	}
+	if g.n > maxStructurePlayers {
+		panic(fmt.Sprintf("coalition: OptimalStructure limited to %d players, got %d", maxStructurePlayers, g.n))
+	}
+	full := uint64(1)<<uint(g.n) - 1
+	best := make([]float64, full+1)
+	choice := make([]uint64, full+1)
+	for mask := uint64(1); mask <= full; mask++ {
+		// The lowest set bit must belong to some block; enumerate the
+		// blocks containing it by iterating over submasks of mask that
+		// include it.
+		low := mask & (^mask + 1)
+		rest := mask ^ low
+		// sub iterates over subsets of rest; block = sub | low.
+		var bestVal float64
+		var bestBlock uint64
+		first := true
+		for sub := rest; ; sub = (sub - 1) & rest {
+			block := sub | low
+			val := g.Value(Members(block)) + best[mask^block]
+			if first || val > bestVal {
+				bestVal, bestBlock = val, block
+				first = false
+			}
+			if sub == 0 {
+				break
+			}
+		}
+		best[mask] = bestVal
+		choice[mask] = bestBlock
+	}
+	for mask := full; mask != 0; {
+		block := choice[mask]
+		structure = append(structure, Members(block))
+		mask ^= block
+	}
+	return structure, best[full]
+}
+
+// StructureValue sums v over the blocks of a structure, validating that it
+// is a partition of the players.
+func (g *Game) StructureValue(structure [][]int) (float64, error) {
+	seen := make([]bool, g.n)
+	count := 0
+	total := 0.0
+	for _, block := range structure {
+		for _, i := range block {
+			if i < 0 || i >= g.n {
+				return 0, fmt.Errorf("coalition: player %d out of range", i)
+			}
+			if seen[i] {
+				return 0, fmt.Errorf("coalition: player %d in two blocks", i)
+			}
+			seen[i] = true
+			count++
+		}
+		total += g.Value(block)
+	}
+	if count != g.n {
+		return 0, fmt.Errorf("coalition: structure covers %d of %d players", count, g.n)
+	}
+	return total, nil
+}
+
+// Partitions enumerates every partition of n players (the Bell-number
+// family), invoking yield with each structure; yield returning false stops
+// the enumeration early. Intended for exhaustive tests on small n (Bell(10)
+// ≈ 116k); it panics for n > 10.
+func Partitions(n int, yield func([][]int) bool) {
+	if n > 10 {
+		panic("coalition: Partitions limited to 10 players")
+	}
+	if n == 0 {
+		yield(nil)
+		return
+	}
+	// Restricted-growth-string enumeration.
+	rgs := make([]int, n)
+	maxes := make([]int, n)
+	emit := func() bool {
+		blocks := 0
+		for _, v := range rgs {
+			if v+1 > blocks {
+				blocks = v + 1
+			}
+		}
+		structure := make([][]int, blocks)
+		for i, v := range rgs {
+			structure[v] = append(structure[v], i)
+		}
+		return yield(structure)
+	}
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == n {
+			return emit()
+		}
+		limit := 0
+		if i > 0 {
+			limit = maxes[i-1] + 1
+		}
+		for v := 0; v <= limit; v++ {
+			rgs[i] = v
+			if i > 0 {
+				maxes[i] = maxes[i-1]
+			} else {
+				maxes[i] = 0
+			}
+			if v > maxes[i] {
+				maxes[i] = v
+			}
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+}

@@ -1,0 +1,170 @@
+package coalition
+
+import (
+	"math"
+	"testing"
+
+	"gridvo/internal/xrand"
+)
+
+func TestOptimalStructureAdditive(t *testing.T) {
+	// Additive game: every partition has the same value, Σw.
+	g := additive([]float64{1, 2, 3})
+	structure, total := g.OptimalStructure()
+	if math.Abs(total-6) > 1e-12 {
+		t.Fatalf("total = %v, want 6", total)
+	}
+	if v, err := g.StructureValue(structure); err != nil || math.Abs(v-total) > 1e-12 {
+		t.Fatalf("structure value %v err %v", v, err)
+	}
+}
+
+func TestOptimalStructureSingletonsWin(t *testing.T) {
+	// Strictly subadditive: v(S) = 1 for singletons, 0 otherwise —
+	// the all-singletons structure is optimal with value n.
+	g := NewGame(4, func(members []int) float64 {
+		if len(members) == 1 {
+			return 1
+		}
+		return 0
+	})
+	structure, total := g.OptimalStructure()
+	if total != 4 {
+		t.Fatalf("total = %v, want 4", total)
+	}
+	if len(structure) != 4 {
+		t.Fatalf("blocks = %d, want 4 singletons", len(structure))
+	}
+}
+
+func TestOptimalStructureGrandWins(t *testing.T) {
+	// Superadditive convex game: grand coalition optimal.
+	g := NewGame(4, func(members []int) float64 {
+		return float64(len(members) * len(members))
+	})
+	structure, total := g.OptimalStructure()
+	if total != 16 {
+		t.Fatalf("total = %v, want 16", total)
+	}
+	if len(structure) != 1 || len(structure[0]) != 4 {
+		t.Fatalf("structure = %v, want the grand coalition", structure)
+	}
+}
+
+func TestOptimalStructureMatchesExhaustive(t *testing.T) {
+	// Cross-check the DP against explicit enumeration on random games.
+	for trial := 0; trial < 10; trial++ {
+		rng := xrand.New(uint64(100 + trial))
+		vals := map[uint64]float64{}
+		g := NewGame(6, func(members []int) float64 {
+			var mask uint64
+			for _, i := range members {
+				mask |= 1 << uint(i)
+			}
+			if v, ok := vals[mask]; ok {
+				return v
+			}
+			v := rng.Uniform(0, 10)
+			vals[mask] = v
+			return v
+		})
+		_, dpTotal := g.OptimalStructure()
+		bestExhaustive := math.Inf(-1)
+		Partitions(6, func(structure [][]int) bool {
+			v, err := g.StructureValue(structure)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v > bestExhaustive {
+				bestExhaustive = v
+			}
+			return true
+		})
+		if math.Abs(dpTotal-bestExhaustive) > 1e-9 {
+			t.Fatalf("trial %d: DP %v != exhaustive %v", trial, dpTotal, bestExhaustive)
+		}
+	}
+}
+
+func TestOptimalStructureDegenerate(t *testing.T) {
+	g := NewGame(0, func([]int) float64 { return 0 })
+	structure, total := g.OptimalStructure()
+	if structure != nil || total != 0 {
+		t.Fatal("empty game structure wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized OptimalStructure did not panic")
+		}
+	}()
+	additive(make([]float64, 14)).OptimalStructure()
+}
+
+func TestStructureValueValidation(t *testing.T) {
+	g := additive([]float64{1, 2, 3})
+	if _, err := g.StructureValue([][]int{{0, 1}}); err == nil {
+		t.Fatal("incomplete structure accepted")
+	}
+	if _, err := g.StructureValue([][]int{{0, 1}, {1, 2}}); err == nil {
+		t.Fatal("overlapping structure accepted")
+	}
+	if _, err := g.StructureValue([][]int{{0, 1}, {5}}); err == nil {
+		t.Fatal("out-of-range structure accepted")
+	}
+}
+
+func TestPartitionsCounts(t *testing.T) {
+	// Bell numbers: B(1)=1, B(2)=2, B(3)=5, B(4)=15, B(5)=52.
+	bell := map[int]int{1: 1, 2: 2, 3: 5, 4: 15, 5: 52}
+	for n, want := range bell {
+		count := 0
+		Partitions(n, func(structure [][]int) bool {
+			count++
+			// Each emitted structure must be a valid partition.
+			seen := map[int]bool{}
+			for _, b := range structure {
+				for _, i := range b {
+					if seen[i] {
+						t.Fatal("duplicate player in partition")
+					}
+					seen[i] = true
+				}
+			}
+			if len(seen) != n {
+				t.Fatal("partition does not cover all players")
+			}
+			return true
+		})
+		if count != want {
+			t.Fatalf("Partitions(%d) emitted %d, want Bell=%d", n, count, want)
+		}
+	}
+}
+
+func TestPartitionsEarlyStop(t *testing.T) {
+	count := 0
+	Partitions(4, func([][]int) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early stop ignored: %d emissions", count)
+	}
+}
+
+func TestPartitionsEmptyAndOversized(t *testing.T) {
+	called := false
+	Partitions(0, func(s [][]int) bool {
+		called = true
+		return s == nil
+	})
+	if !called {
+		t.Fatal("Partitions(0) did not yield the empty partition")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized Partitions did not panic")
+		}
+	}()
+	Partitions(11, func([][]int) bool { return true })
+}

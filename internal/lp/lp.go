@@ -1,0 +1,397 @@
+// Package lp implements a dense two-phase primal simplex solver for small
+// linear programs. It is the optimization substrate behind the
+// coalitional-game analytics: deciding core non-emptiness (and exhibiting
+// a core imputation) is a linear program with one constraint per
+// coalition, and the assignment solver's tests use LP relaxations of small
+// integer programs as independent lower-bound oracles.
+//
+// The solver handles problems of the form
+//
+//	min / max  c·x
+//	s.t.       aᵢ·x {≤,=,≥} bᵢ     for each constraint i
+//	           x ≥ 0
+//
+// via the standard two-phase tableau method with Bland's rule for
+// anti-cycling. It is exact up to floating-point tolerance and intended
+// for problems with at most a few thousand constraints and a few hundred
+// variables — ample for 16-player games, far from a production LP code.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Op is a constraint relation.
+type Op int
+
+const (
+	// LE is aᵢ·x ≤ bᵢ.
+	LE Op = iota
+	// GE is aᵢ·x ≥ bᵢ.
+	GE
+	// EQ is aᵢ·x = bᵢ.
+	EQ
+)
+
+// String returns the relation symbol.
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+const (
+	// Optimal: an optimal basic feasible solution was found.
+	Optimal Status = iota
+	// Infeasible: the constraints admit no solution.
+	Infeasible
+	// Unbounded: the objective is unbounded over the feasible region.
+	Unbounded
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// eps is the pivoting/feasibility tolerance.
+const eps = 1e-9
+
+// Problem accumulates an LP before solving. Variables are indexed
+// 0..n-1 and implicitly constrained to x ≥ 0.
+type Problem struct {
+	n        int
+	maximize bool
+	c        []float64
+	rows     [][]float64
+	ops      []Op
+	rhs      []float64
+}
+
+// NewProblem creates an LP over n non-negative variables. It panics if
+// n <= 0.
+func NewProblem(n int) *Problem {
+	if n <= 0 {
+		panic("lp: NewProblem requires n > 0")
+	}
+	return &Problem{n: n, c: make([]float64, n)}
+}
+
+// NumVars returns the variable count.
+func (p *Problem) NumVars() int { return p.n }
+
+// NumConstraints returns the constraint count.
+func (p *Problem) NumConstraints() int { return len(p.rows) }
+
+// Maximize sets the objective to maximize c·x.
+func (p *Problem) Maximize(c []float64) *Problem {
+	p.setObj(c, true)
+	return p
+}
+
+// Minimize sets the objective to minimize c·x.
+func (p *Problem) Minimize(c []float64) *Problem {
+	p.setObj(c, false)
+	return p
+}
+
+func (p *Problem) setObj(c []float64, maximize bool) {
+	if len(c) != p.n {
+		panic(fmt.Sprintf("lp: objective has %d coefficients for %d variables", len(c), p.n))
+	}
+	copy(p.c, c)
+	p.maximize = maximize
+}
+
+// AddConstraint appends a·x op rhs. Coefficient slices are copied.
+func (p *Problem) AddConstraint(a []float64, op Op, rhs float64) *Problem {
+	if len(a) != p.n {
+		panic(fmt.Sprintf("lp: constraint has %d coefficients for %d variables", len(a), p.n))
+	}
+	row := make([]float64, p.n)
+	copy(row, a)
+	p.rows = append(p.rows, row)
+	p.ops = append(p.ops, op)
+	p.rhs = append(p.rhs, rhs)
+	return p
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status    Status
+	X         []float64 // variable values (valid when Optimal)
+	Objective float64   // c·x at the optimum (valid when Optimal)
+	Pivots    int       // simplex pivots performed (both phases)
+}
+
+// Solve runs two-phase simplex and returns the solution.
+func (p *Problem) Solve() Solution {
+	m := len(p.rows)
+	n := p.n
+
+	// Normalize to aᵢ·x (≤ via slack / = via artificial) with b ≥ 0.
+	// Column layout: [x₀..x_{n-1} | slack/surplus | artificial].
+	type rowSpec struct {
+		a  []float64
+		b  float64
+		op Op
+	}
+	specs := make([]rowSpec, m)
+	for i := range p.rows {
+		a := append([]float64(nil), p.rows[i]...)
+		b := p.rhs[i]
+		op := p.ops[i]
+		if b < 0 {
+			for j := range a {
+				a[j] = -a[j]
+			}
+			b = -b
+			switch op {
+			case LE:
+				op = GE
+			case GE:
+				op = LE
+			}
+		}
+		specs[i] = rowSpec{a: a, b: b, op: op}
+	}
+
+	nSlack := 0
+	for _, s := range specs {
+		if s.op != EQ {
+			nSlack++
+		}
+	}
+	// Artificials: GE and EQ rows need one; LE rows use their slack as
+	// the initial basis.
+	nArt := 0
+	for _, s := range specs {
+		if s.op != LE {
+			nArt++
+		}
+	}
+	total := n + nSlack + nArt
+
+	// Build tableau: m rows × (total+1) columns (last is b).
+	t := make([][]float64, m)
+	basis := make([]int, m)
+	slackIdx := n
+	artIdx := n + nSlack
+	for i, s := range specs {
+		row := make([]float64, total+1)
+		copy(row, s.a)
+		row[total] = s.b
+		switch s.op {
+		case LE:
+			row[slackIdx] = 1
+			basis[i] = slackIdx
+			slackIdx++
+		case GE:
+			row[slackIdx] = -1 // surplus
+			slackIdx++
+			row[artIdx] = 1
+			basis[i] = artIdx
+			artIdx++
+		case EQ:
+			row[artIdx] = 1
+			basis[i] = artIdx
+			artIdx++
+		}
+		t[i] = row
+	}
+
+	sol := Solution{}
+
+	// Phase 1: minimize the sum of artificials.
+	if nArt > 0 {
+		obj := make([]float64, total+1)
+		for j := n + nSlack; j < total; j++ {
+			obj[j] = 1
+		}
+		// Express objective in terms of non-basic variables (price out
+		// the artificial basis).
+		for i, b := range basis {
+			if b >= n+nSlack {
+				for j := 0; j <= total; j++ {
+					obj[j] -= t[i][j]
+				}
+			}
+		}
+		status, pivots := simplex(t, basis, obj, total)
+		sol.Pivots += pivots
+		if status == Unbounded {
+			// Phase-1 objective is bounded below by 0; unbounded here
+			// means numerical trouble — report infeasible.
+			sol.Status = Infeasible
+			return sol
+		}
+		if -obj[total] > 1e-7 { // artificial sum > 0
+			sol.Status = Infeasible
+			return sol
+		}
+		// Drive any artificial variables out of the basis.
+		for i := range basis {
+			if basis[i] < n+nSlack {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < n+nSlack; j++ {
+				if math.Abs(t[i][j]) > eps {
+					pivot(t, basis, i, j)
+					sol.Pivots++
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row: zero it (keep artificial at 0).
+				for j := 0; j <= total; j++ {
+					if j < n+nSlack {
+						t[i][j] = 0
+					}
+				}
+			}
+		}
+	}
+
+	// Phase 2: the real objective over the original + slack columns.
+	obj := make([]float64, total+1)
+	for j := 0; j < n; j++ {
+		if p.maximize {
+			obj[j] = -p.c[j] // tableau minimizes; negate for max
+		} else {
+			obj[j] = p.c[j]
+		}
+	}
+	// Price out basic variables.
+	for i, b := range basis {
+		if b < total && math.Abs(obj[b]) > eps {
+			coef := obj[b]
+			for j := 0; j <= total; j++ {
+				obj[j] -= coef * t[i][j]
+			}
+		}
+	}
+	// Forbid re-entering artificials.
+	blocked := make([]bool, total)
+	for j := n + nSlack; j < total; j++ {
+		blocked[j] = true
+	}
+	status, pivots := simplexBlocked(t, basis, obj, total, blocked)
+	sol.Pivots += pivots
+	if status == Unbounded {
+		sol.Status = Unbounded
+		return sol
+	}
+
+	x := make([]float64, n)
+	for i, b := range basis {
+		if b < n {
+			x[b] = t[i][total]
+		}
+	}
+	objVal := 0.0
+	for j := 0; j < n; j++ {
+		objVal += p.c[j] * x[j]
+	}
+	sol.Status = Optimal
+	sol.X = x
+	sol.Objective = objVal
+	return sol
+}
+
+// simplex minimizes obj over the tableau with Bland's rule.
+func simplex(t [][]float64, basis []int, obj []float64, total int) (Status, int) {
+	return simplexBlocked(t, basis, obj, total, nil)
+}
+
+func simplexBlocked(t [][]float64, basis []int, obj []float64, total int, blocked []bool) (Status, int) {
+	pivots := 0
+	maxPivots := 50000 + 100*(len(t)+total)
+	for ; pivots < maxPivots; pivots++ {
+		// Entering variable: Bland — the lowest-index column with a
+		// negative reduced cost.
+		enter := -1
+		for j := 0; j < total; j++ {
+			if blocked != nil && blocked[j] {
+				continue
+			}
+			if obj[j] < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter == -1 {
+			return Optimal, pivots
+		}
+		// Leaving row: minimum ratio, ties by lowest basis index (Bland).
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := range t {
+			if t[i][enter] > eps {
+				ratio := t[i][total] / t[i][enter]
+				if ratio < bestRatio-eps ||
+					(ratio < bestRatio+eps && (leave == -1 || basis[i] < basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return Unbounded, pivots
+		}
+		pivot(t, basis, leave, enter)
+		// Update the objective row.
+		coef := obj[enter]
+		if math.Abs(coef) > eps {
+			for j := 0; j < len(obj); j++ {
+				obj[j] -= coef * t[leave][j]
+			}
+		}
+	}
+	// Pivot cap exceeded: numerically cycling. Report unbounded (the
+	// conservative failure) so callers never trust a bogus optimum.
+	return Unbounded, pivots
+}
+
+// pivot makes column enter basic in row leave.
+func pivot(t [][]float64, basis []int, leave, enter int) {
+	row := t[leave]
+	inv := 1 / row[enter]
+	for j := range row {
+		row[j] *= inv
+	}
+	for i := range t {
+		if i == leave {
+			continue
+		}
+		coef := t[i][enter]
+		if math.Abs(coef) <= eps {
+			continue
+		}
+		for j := range t[i] {
+			t[i][j] -= coef * row[j]
+		}
+	}
+	basis[leave] = enter
+}

@@ -1,0 +1,238 @@
+package lp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gridvo/internal/xrand"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) <= 1e-6*(1+math.Abs(b)) }
+
+func TestMaximizeClassic(t *testing.T) {
+	// max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → x=2, y=6, obj 36.
+	p := NewProblem(2).Maximize([]float64{3, 5})
+	p.AddConstraint([]float64{1, 0}, LE, 4)
+	p.AddConstraint([]float64{0, 2}, LE, 12)
+	p.AddConstraint([]float64{3, 2}, LE, 18)
+	s := p.Solve()
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if !approx(s.Objective, 36) {
+		t.Fatalf("objective = %v, want 36", s.Objective)
+	}
+	if !approx(s.X[0], 2) || !approx(s.X[1], 6) {
+		t.Fatalf("x = %v, want [2 6]", s.X)
+	}
+}
+
+func TestMinimizeWithGE(t *testing.T) {
+	// min 2x + 3y s.t. x + y ≥ 10, x ≥ 2 → x=8? No: min at x=10,y=0 has
+	// obj 20 with x ≥ 2 satisfied; check: 2·10 = 20 vs x=2,y=8 → 28.
+	p := NewProblem(2).Minimize([]float64{2, 3})
+	p.AddConstraint([]float64{1, 1}, GE, 10)
+	p.AddConstraint([]float64{1, 0}, GE, 2)
+	s := p.Solve()
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if !approx(s.Objective, 20) {
+		t.Fatalf("objective = %v, want 20", s.Objective)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// max x + y s.t. x + y = 5, x ≤ 3 → obj 5.
+	p := NewProblem(2).Maximize([]float64{1, 1})
+	p.AddConstraint([]float64{1, 1}, EQ, 5)
+	p.AddConstraint([]float64{1, 0}, LE, 3)
+	s := p.Solve()
+	if s.Status != Optimal || !approx(s.Objective, 5) {
+		t.Fatalf("sol = %+v", s)
+	}
+	if !approx(s.X[0]+s.X[1], 5) {
+		t.Fatalf("equality violated: %v", s.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1).Maximize([]float64{1})
+	p.AddConstraint([]float64{1}, GE, 5)
+	p.AddConstraint([]float64{1}, LE, 3)
+	if s := p.Solve(); s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(2).Maximize([]float64{1, 1})
+	p.AddConstraint([]float64{1, -1}, LE, 1)
+	if s := p.Solve(); s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// x ≤ -2 with x ≥ 0 is infeasible; -x ≤ -2 (i.e. x ≥ 2) is fine.
+	p := NewProblem(1).Minimize([]float64{1})
+	p.AddConstraint([]float64{1}, LE, -2)
+	if s := p.Solve(); s.Status != Infeasible {
+		t.Fatalf("x ≤ -2 should be infeasible, got %v", s.Status)
+	}
+	p2 := NewProblem(1).Minimize([]float64{1})
+	p2.AddConstraint([]float64{-1}, LE, -2)
+	s := p2.Solve()
+	if s.Status != Optimal || !approx(s.Objective, 2) {
+		t.Fatalf("x ≥ 2 minimization: %+v", s)
+	}
+}
+
+func TestDegenerateAndRedundant(t *testing.T) {
+	// Redundant equality rows must not break phase 1.
+	p := NewProblem(2).Maximize([]float64{1, 2})
+	p.AddConstraint([]float64{1, 1}, EQ, 4)
+	p.AddConstraint([]float64{2, 2}, EQ, 8) // redundant
+	p.AddConstraint([]float64{0, 1}, LE, 3)
+	s := p.Solve()
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	// max x + 2y on x+y=4, y≤3 → y=3, x=1, obj 7.
+	if !approx(s.Objective, 7) {
+		t.Fatalf("objective = %v, want 7", s.Objective)
+	}
+}
+
+func TestSolutionSatisfiesConstraintsProperty(t *testing.T) {
+	rng := xrand.New(4)
+	f := func(seed uint32) bool {
+		r := xrand.New(uint64(seed))
+		n := r.UniformInt(1, 5)
+		m := r.UniformInt(1, 6)
+		p := NewProblem(n)
+		c := make([]float64, n)
+		for j := range c {
+			c[j] = r.Uniform(-5, 5)
+		}
+		if r.Bool(0.5) {
+			p.Maximize(c)
+		} else {
+			p.Minimize(c)
+		}
+		rows := make([][]float64, m)
+		ops := make([]Op, m)
+		rhs := make([]float64, m)
+		for i := 0; i < m; i++ {
+			a := make([]float64, n)
+			for j := range a {
+				a[j] = r.Uniform(-3, 3)
+			}
+			// Bias toward LE with positive rhs to keep many instances
+			// feasible and bounded.
+			op := LE
+			if r.Bool(0.25) {
+				op = GE
+			}
+			rows[i], ops[i], rhs[i] = a, op, r.Uniform(0, 10)
+			p.AddConstraint(a, op, rhs[i])
+		}
+		_ = rng
+		s := p.Solve()
+		if s.Status != Optimal {
+			return true // infeasible/unbounded: nothing to verify
+		}
+		for j, v := range s.X {
+			if v < -1e-7 {
+				return false
+			}
+			_ = j
+		}
+		for i := 0; i < m; i++ {
+			dot := 0.0
+			for j := 0; j < n; j++ {
+				dot += rows[i][j] * s.X[j]
+			}
+			switch ops[i] {
+			case LE:
+				if dot > rhs[i]+1e-6 {
+					return false
+				}
+			case GE:
+				if dot < rhs[i]-1e-6 {
+					return false
+				}
+			case EQ:
+				if math.Abs(dot-rhs[i]) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLPRelaxationLowerBoundsAssignment(t *testing.T) {
+	// The LP relaxation of a tiny assignment problem (each task to one
+	// of two machines, minimize cost) must lower-bound the integral
+	// optimum and here equals it (the constraint matrix is totally
+	// unimodular without capacity coupling).
+	cost := [][]float64{{1, 2, 9}, {8, 7, 3}} // [machine][task]
+	// Variables x[machine][task] flattened: 2×3 = 6.
+	p := NewProblem(6).Minimize([]float64{1, 2, 9, 8, 7, 3})
+	for task := 0; task < 3; task++ {
+		a := make([]float64, 6)
+		a[task] = 1   // machine 0
+		a[3+task] = 1 // machine 1
+		p.AddConstraint(a, EQ, 1)
+	}
+	s := p.Solve()
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if !approx(s.Objective, 6) { // 1 + 2 + 3
+		t.Fatalf("objective = %v, want 6", s.Objective)
+	}
+	_ = cost
+}
+
+func TestPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { NewProblem(0) },
+		func() { NewProblem(2).Maximize([]float64{1}) },
+		func() { NewProblem(2).AddConstraint([]float64{1}, LE, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "==" {
+		t.Fatal("Op strings wrong")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Fatal("Status strings wrong")
+	}
+	if Op(9).String() == "" || Status(9).String() == "" {
+		t.Fatal("unknown stringers empty")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	p := NewProblem(3)
+	p.AddConstraint([]float64{1, 0, 0}, LE, 1)
+	if p.NumVars() != 3 || p.NumConstraints() != 1 {
+		t.Fatal("accessors wrong")
+	}
+}

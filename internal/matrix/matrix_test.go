@@ -1,0 +1,296 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gridvo/internal/xrand"
+)
+
+func TestNewDenseZeroed(t *testing.T) {
+	m := NewDense(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("shape = %dx%d, want 3x4", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("At(%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSetAtAdd(t *testing.T) {
+	m := NewDense(2, 2)
+	m.Set(0, 1, 3.5)
+	m.Add(0, 1, 1.5)
+	if got := m.At(0, 1); got != 5 {
+		t.Fatalf("At(0,1) = %v, want 5", got)
+	}
+	if got := m.At(1, 0); got != 0 {
+		t.Fatalf("untouched element = %v, want 0", got)
+	}
+}
+
+func TestOutOfBoundsPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewDense(2, 2).At(2, 0) },
+		func() { NewDense(2, 2).At(0, -1) },
+		func() { NewDense(2, 2).Set(-1, 0, 1) },
+		func() { NewDense(2, 2).Row(5) },
+		func() { NewDense(2, 2).Col(5) },
+		func() { NewDense(-1, 2) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(0, 0) != 1 || m.At(0, 1) != 2 || m.At(1, 0) != 3 || m.At(1, 1) != 4 {
+		t.Fatalf("FromRows mismatch: %v", m)
+	}
+	empty := FromRows(nil)
+	if empty.Rows() != 0 || empty.Cols() != 0 {
+		t.Fatal("FromRows(nil) is not 0x0")
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged FromRows did not panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestRowColCopies(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	r := m.Row(0)
+	r[0] = 99
+	if m.At(0, 0) != 1 {
+		t.Fatal("Row returned a view, want a copy")
+	}
+	c := m.Col(1)
+	if c[0] != 2 || c[1] != 4 {
+		t.Fatalf("Col(1) = %v, want [2 4]", c)
+	}
+	c[0] = 99
+	if m.At(0, 1) != 2 {
+		t.Fatal("Col returned a view, want a copy")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.Transpose()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("transpose shape = %dx%d, want 3x2", tr.Rows(), tr.Cols())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	y := m.MulVec([]float64{1, 1})
+	want := []float64{3, 7, 11}
+	if !VecEqual(y, want, 0) {
+		t.Fatalf("MulVec = %v, want %v", y, want)
+	}
+}
+
+func TestTMulVecMatchesExplicitTranspose(t *testing.T) {
+	rng := xrand.New(1)
+	for trial := 0; trial < 50; trial++ {
+		r, c := rng.UniformInt(1, 8), rng.UniformInt(1, 8)
+		m := NewDense(r, c)
+		for i := 0; i < r; i++ {
+			for j := 0; j < c; j++ {
+				m.Set(i, j, rng.Uniform(-5, 5))
+			}
+		}
+		x := make([]float64, r)
+		for i := range x {
+			x[i] = rng.Uniform(-5, 5)
+		}
+		got := m.TMulVec(x)
+		want := m.Transpose().MulVec(x)
+		if !VecEqual(got, want, 1e-12) {
+			t.Fatalf("trial %d: TMulVec = %v, want %v", trial, got, want)
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	got := a.Mul(b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if !got.Equal(want, 0) {
+		t.Fatalf("Mul =\n%v want\n%v", got, want)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := xrand.New(2)
+	m := NewDense(5, 5)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			m.Set(i, j, rng.Float64())
+		}
+	}
+	if !m.Mul(Identity(5)).Equal(m, 0) || !Identity(5).Mul(m).Equal(m, 0) {
+		t.Fatal("identity is not a multiplicative unit")
+	}
+}
+
+func TestMulDimMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Mul with mismatched shapes did not panic")
+		}
+	}()
+	NewDense(2, 3).Mul(NewDense(2, 3))
+}
+
+func TestScaleAndRowSums(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	m.Scale(2)
+	sums := m.RowSums()
+	if sums[0] != 6 || sums[1] != 14 {
+		t.Fatalf("RowSums after Scale = %v, want [6 14]", sums)
+	}
+}
+
+func TestNormalizeRowsStochastic(t *testing.T) {
+	m := FromRows([][]float64{{2, 2}, {0, 0}, {1, 3}})
+	zero := m.NormalizeRows(true)
+	if len(zero) != 1 || zero[0] != 1 {
+		t.Fatalf("zero rows = %v, want [1]", zero)
+	}
+	for i := 0; i < 3; i++ {
+		s := VecSum(m.Row(i))
+		if math.Abs(s-1) > 1e-12 {
+			t.Fatalf("row %d sums to %v after normalization", i, s)
+		}
+	}
+	if m.At(1, 0) != 0.5 || m.At(1, 1) != 0.5 {
+		t.Fatalf("dangling row not uniform: %v", m.Row(1))
+	}
+}
+
+func TestNormalizeRowsSubstochastic(t *testing.T) {
+	m := FromRows([][]float64{{2, 2}, {0, 0}})
+	m.NormalizeRows(false)
+	if VecSum(m.Row(1)) != 0 {
+		t.Fatal("substochastic mode must leave zero rows zero")
+	}
+}
+
+func TestNormalizeRowsProperty(t *testing.T) {
+	rng := xrand.New(3)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%10) + 1
+		m := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if rng.Bool(0.5) {
+					m.Set(i, j, rng.Uniform(0, 10))
+				}
+			}
+		}
+		m.NormalizeRows(true)
+		for i := 0; i < n; i++ {
+			if math.Abs(VecSum(m.Row(i))-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubmatrix(t *testing.T) {
+	m := FromRows([][]float64{
+		{0, 1, 2, 3},
+		{10, 11, 12, 13},
+		{20, 21, 22, 23},
+		{30, 31, 32, 33},
+	})
+	s := m.Submatrix([]int{3, 1})
+	want := FromRows([][]float64{{33, 31}, {13, 11}})
+	if !s.Equal(want, 0) {
+		t.Fatalf("Submatrix =\n%v want\n%v", s, want)
+	}
+}
+
+func TestSubmatrixPanics(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	for i, idx := range [][]int{{0, 0}, {5}, {-1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: Submatrix(%v) did not panic", i, idx)
+				}
+			}()
+			m.Submatrix(idx)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Submatrix on non-square matrix did not panic")
+			}
+		}()
+		NewDense(2, 3).Submatrix([]int{0})
+	}()
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage with the original")
+	}
+}
+
+func TestEqualShapes(t *testing.T) {
+	if NewDense(2, 2).Equal(NewDense(2, 3), 1) {
+		t.Fatal("matrices of different shape reported equal")
+	}
+	a := FromRows([][]float64{{1}})
+	b := FromRows([][]float64{{1.0000001}})
+	if !a.Equal(b, 1e-3) {
+		t.Fatal("near-equal matrices reported unequal within tol")
+	}
+	if a.Equal(b, 1e-12) {
+		t.Fatal("distinct matrices reported equal with tight tol")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := FromRows([][]float64{{1, 2}}).String()
+	if s != "[1 2]\n" {
+		t.Fatalf("String() = %q", s)
+	}
+}

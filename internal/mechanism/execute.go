@@ -1,0 +1,67 @@
+package mechanism
+
+import (
+	"fmt"
+
+	"gridvo/internal/exec"
+	"gridvo/internal/trust"
+	"gridvo/internal/xrand"
+)
+
+// ExecuteFinal bridges a mechanism result to the execution simulator: it
+// runs the selected VO's task assignment on its members (Algorithm 1
+// line 15, "Map and execute program T on VO C_k"), with per-GSP
+// reliabilities driving renege events. It returns the execution report
+// plus the members' global indices parallel to the report's per-provider
+// slices.
+//
+// reliability is indexed by *global* GSP id and may be nil (every provider
+// fully reliable — the paper's implicit assumption).
+func ExecuteFinal(sc *Scenario, res *Result, reliability []float64, opts exec.Options, rng *xrand.RNG) (*exec.Report, []int, error) {
+	final := res.Final()
+	if final == nil {
+		return nil, nil, fmt.Errorf("mechanism: no final VO to execute")
+	}
+	if final.Assignment == nil {
+		return nil, nil, fmt.Errorf("mechanism: final VO carries no assignment")
+	}
+	if reliability != nil && len(reliability) != sc.M() {
+		return nil, nil, fmt.Errorf("mechanism: %d reliabilities for %d GSPs", len(reliability), sc.M())
+	}
+	if opts.Deadline == 0 {
+		opts.Deadline = sc.Deadline
+	}
+	providers := make([]exec.Provider, len(final.Members))
+	for i, g := range final.Members {
+		r := 1.0
+		if reliability != nil {
+			r = reliability[g]
+		}
+		providers[i] = exec.Provider{SpeedGFLOPS: sc.GSPs[g].SpeedGFLOPS, Reliability: r}
+	}
+	rep, err := exec.Run(rng, sc.Program.Tasks, final.Assignment, providers, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rep, final.Members, nil
+}
+
+// RecordOutcomes folds an execution report into an interaction history:
+// every VO member observed whether every other member delivered. members
+// must be the global-id slice returned by ExecuteFinal.
+func RecordOutcomes(hist *trust.History, members []int, rep *exec.Report) error {
+	if len(members) != len(rep.Delivered) {
+		return fmt.Errorf("mechanism: %d members for %d delivery outcomes", len(members), len(rep.Delivered))
+	}
+	for _, observer := range members {
+		for i, provider := range members {
+			if observer == provider {
+				continue
+			}
+			if err := hist.Record(observer, provider, rep.Delivered[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,347 @@
+package mechanism
+
+import (
+	"fmt"
+	"time"
+
+	"gridvo/internal/assign"
+	"gridvo/internal/coalition"
+	"gridvo/internal/matrix"
+	"gridvo/internal/reputation"
+	"gridvo/internal/trust"
+	"gridvo/internal/xrand"
+)
+
+// EvictionRule selects which GSP a mechanism removes each iteration.
+type EvictionRule int
+
+const (
+	// EvictLowestReputation is TVOF's rule: remove the member with the
+	// lowest power-method global reputation, recomputed inside the
+	// current VO (ties broken uniformly at random).
+	EvictLowestReputation EvictionRule = iota
+	// EvictRandom is RVOF's rule: remove a uniformly random member.
+	EvictRandom
+	// EvictLowestCentrality removes the member with the lowest score
+	// under Options.Centrality — the ablation family.
+	EvictLowestCentrality
+)
+
+// String returns the rule name.
+func (e EvictionRule) String() string {
+	switch e {
+	case EvictLowestReputation:
+		return "tvof"
+	case EvictRandom:
+		return "rvof"
+	case EvictLowestCentrality:
+		return "centrality"
+	default:
+		return fmt.Sprintf("EvictionRule(%d)", int(e))
+	}
+}
+
+// Options configure a mechanism run.
+type Options struct {
+	// Eviction selects the rule; the zero value is TVOF's.
+	Eviction EvictionRule
+	// Centrality is the score used by EvictLowestCentrality.
+	Centrality reputation.Centrality
+	// Reputation configures the power method (Algorithm 2); the zero
+	// value selects the defaults.
+	Reputation reputation.Options
+	// Solver configures the assignment branch-and-bound.
+	Solver assign.Options
+	// TieTolerance treats reputation scores within this distance of the
+	// minimum as tied (the paper breaks exact ties randomly; floating
+	// point needs a tolerance). Zero selects 1e-12.
+	TieTolerance float64
+	// KeepAssignments retains the task assignment of every feasible
+	// iteration (memory ∝ iterations × n); when false only the selected
+	// VO's assignment is kept.
+	KeepAssignments bool
+}
+
+func (o *Options) fillDefaults() {
+	if o.TieTolerance == 0 {
+		o.TieTolerance = 1e-12
+	}
+	if o.Reputation == (reputation.Options{}) {
+		o.Reputation = reputation.DefaultOptions()
+	}
+}
+
+// IterationRecord captures one iteration of the mechanism loop — the data
+// behind Figs. 5–8 of the paper.
+type IterationRecord struct {
+	// Members are the global GSP indices of the VO at this iteration,
+	// ascending.
+	Members []int
+	// Feasible reports whether IP-B&B found a task mapping.
+	Feasible bool
+	// Cost is C(T,C) when feasible.
+	Cost float64
+	// Value is v(C) = P − C(T,C) when feasible, else 0 (eq. 15).
+	Value float64
+	// Payoff is the equal share v(C)/|C| (eq. 18); 0 when infeasible.
+	Payoff float64
+	// AvgReputation is x̄(C) (eq. 7): the average of the *grand
+	// coalition's* global reputation scores over this VO's members. The
+	// within-VO recomputed scores (Reputation) are L1-normalized, so
+	// their average is identically 1/|C| and carries no information;
+	// the paper's Figs. 3 and 5–8 plot a quantity that discriminates
+	// between TVOF and RVOF at equal VO sizes, which only the global
+	// scores do. See DESIGN.md §5.
+	AvgReputation float64
+	// Reputation holds each member's reputation recomputed *inside* the
+	// VO (Algorithm 2 on the induced trust subgraph), parallel to
+	// Members. These scores drive the eviction decision.
+	Reputation []float64
+	// TotalGlobalReputation is Σ_{i∈C} x_i over the grand coalition's
+	// global scores — the quantity the proof of Theorem 1 reasons about.
+	TotalGlobalReputation float64
+	// Evicted is the global index of the GSP removed after this
+	// iteration (-1 on the final iteration).
+	Evicted int
+	// Assignment maps task → position in Members (kept for the selected
+	// VO, and for every feasible VO with Options.KeepAssignments).
+	Assignment []int
+	// SolverOptimal / SolverGap expose the B&B certificate for this
+	// iteration's IP solve.
+	SolverOptimal bool
+	SolverGap     float64
+}
+
+// Size returns |C| at this iteration.
+func (r *IterationRecord) Size() int { return len(r.Members) }
+
+// Result is a complete mechanism run.
+type Result struct {
+	// Rule that produced this result.
+	Rule EvictionRule
+	// Iterations in execution order (VO size strictly decreasing).
+	Iterations []IterationRecord
+	// Selected indexes Iterations: the final VO, chosen by maximum
+	// individual payoff among feasible iterations (Algorithm 1 line 14);
+	// -1 when no feasible VO exists.
+	Selected int
+	// SelectedByProduct indexes Iterations: the VO maximizing
+	// payoff × average reputation (Fig. 4's comparator); -1 when none.
+	SelectedByProduct int
+	// Duration is the wall-clock time of the whole run (Fig. 9).
+	Duration time.Duration
+	// GlobalReputation is the grand coalition's global reputation vector
+	// (one entry per GSP), the x of eq. (6) on the full trust graph.
+	GlobalReputation []float64
+}
+
+// Final returns the selected iteration record, or nil when no feasible VO
+// was found.
+func (res *Result) Final() *IterationRecord {
+	if res.Selected < 0 {
+		return nil
+	}
+	return &res.Iterations[res.Selected]
+}
+
+// FinalByProduct returns the payoff×reputation-optimal record, or nil.
+func (res *Result) FinalByProduct() *IterationRecord {
+	if res.SelectedByProduct < 0 {
+		return nil
+	}
+	return &res.Iterations[res.SelectedByProduct]
+}
+
+// FeasibleCount returns the number of feasible iterations (|L|).
+func (res *Result) FeasibleCount() int {
+	c := 0
+	for i := range res.Iterations {
+		if res.Iterations[i].Feasible {
+			c++
+		}
+	}
+	return c
+}
+
+// Candidates converts the feasible iterations to coalition.Candidates for
+// Pareto-front analysis.
+func (res *Result) Candidates() []coalition.Candidate {
+	var out []coalition.Candidate
+	for i := range res.Iterations {
+		rec := &res.Iterations[i]
+		if !rec.Feasible {
+			continue
+		}
+		out = append(out, coalition.Candidate{
+			Members: rec.Members,
+			Outcome: coalition.Outcome{Payoff: rec.Payoff, Reputation: rec.AvgReputation},
+		})
+	}
+	return out
+}
+
+// Run executes the mechanism of Algorithm 1 on the scenario:
+//
+//  1. C ← G (all GSPs), L ← ∅
+//  2. repeat: solve the IP on C; if feasible add C to L;
+//     recompute reputation inside C; evict per the rule
+//  3. until the IP is infeasible (or C is exhausted)
+//  4. select from L the VO with the highest individual payoff
+//
+// rng drives tie-breaking (TVOF) and random eviction (RVOF); identical
+// seeds give identical runs.
+func Run(sc *Scenario, opts Options, rng *xrand.RNG) (*Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	opts.fillDefaults()
+	start := time.Now()
+
+	res := &Result{Rule: opts.Eviction, Selected: -1, SelectedByProduct: -1}
+
+	// Global reputation of every GSP in the full trust graph, computed
+	// once; eq. (7) averages over its restriction to each VO.
+	global, _, err := reputation.Global(sc.Trust, opts.Reputation)
+	if err != nil {
+		return nil, fmt.Errorf("mechanism: global reputation: %w", err)
+	}
+	res.GlobalReputation = global
+
+	// members holds the current VO as global GSP indices, ascending.
+	members := make([]int, sc.M())
+	for i := range members {
+		members[i] = i
+	}
+	curTrust := sc.Trust.Clone()
+
+	for len(members) > 0 {
+		rec := IterationRecord{
+			Members: append([]int(nil), members...),
+			Evicted: -1,
+		}
+
+		// Map program T on C using IP-B&B (Algorithm 1 line 5).
+		sol := assign.Solve(sc.Instance(members), opts.Solver)
+		rec.Feasible = sol.Feasible
+		rec.SolverOptimal = sol.Optimal
+		rec.SolverGap = sol.Gap()
+		if sol.Feasible {
+			rec.Cost = sol.Cost
+			rec.Value = sc.Value(&sol)
+			rec.Payoff = rec.Value / float64(len(members))
+			if opts.KeepAssignments {
+				rec.Assignment = sol.Assign
+			}
+		}
+
+		// x = REPUTATION(C, E) (Algorithm 1 line 10; Algorithm 2).
+		scores, err := evictionScores(curTrust, opts)
+		if err != nil {
+			return nil, fmt.Errorf("mechanism: reputation on %d-member VO: %w", len(members), err)
+		}
+		rec.Reputation = scores
+		rec.AvgReputation = reputation.AverageOf(global, members)
+		rec.TotalGlobalReputation = rec.AvgReputation * float64(len(members))
+
+		stop := !sol.Feasible // flag of Algorithm 1: stop after first infeasible VO
+		var evictLocal int
+		if !stop && len(members) > 1 {
+			evictLocal = pickEviction(scores, opts, rng)
+			rec.Evicted = members[evictLocal]
+		} else if !stop {
+			// |C| == 1: evicting the last member makes the next VO empty,
+			// i.e. infeasible; Algorithm 1 would discover that on the
+			// next iteration, so we stop here with the same outcome.
+			stop = true
+		}
+
+		res.Iterations = append(res.Iterations, rec)
+		if stop {
+			break
+		}
+
+		// C ← C \ G, dropping all trust edges touching G (line 12).
+		var keepLocal []int
+		for i := range members {
+			if i != evictLocal {
+				keepLocal = append(keepLocal, i)
+			}
+		}
+		curTrust = curTrust.Subgraph(keepLocal)
+		next := make([]int, 0, len(members)-1)
+		for i, g := range members {
+			if i != evictLocal {
+				next = append(next, g)
+			}
+		}
+		members = next
+	}
+
+	selectFinal(sc, res, opts)
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// evictionScores computes the per-member scores used by the eviction rule.
+// RVOF does not use them to evict, but the paper still reports the average
+// reputation of every RVOF iteration (Figs. 7–8), so scores are always
+// computed with the power method unless a centrality ablation is selected.
+func evictionScores(g *trust.Graph, opts Options) ([]float64, error) {
+	if opts.Eviction == EvictLowestCentrality {
+		return reputation.Scores(g, opts.Centrality)
+	}
+	x, _, err := reputation.Global(g, opts.Reputation)
+	return x, err
+}
+
+// pickEviction returns the local index to evict.
+func pickEviction(scores []float64, opts Options, rng *xrand.RNG) int {
+	if opts.Eviction == EvictRandom {
+		return rng.IntN(len(scores))
+	}
+	ties := matrix.MinIndices(scores, opts.TieTolerance)
+	if len(ties) == 1 {
+		return ties[0]
+	}
+	return ties[rng.IntN(len(ties))]
+}
+
+// selectFinal applies Algorithm 1 line 14 and the Fig. 4 comparator.
+func selectFinal(sc *Scenario, res *Result, opts Options) {
+	bestPayoff, bestProduct := -1, -1
+	for i := range res.Iterations {
+		rec := &res.Iterations[i]
+		if !rec.Feasible {
+			continue
+		}
+		if bestPayoff < 0 || betterPayoff(rec, &res.Iterations[bestPayoff]) {
+			bestPayoff = i
+		}
+		if bestProduct < 0 ||
+			rec.Payoff*rec.AvgReputation > res.Iterations[bestProduct].Payoff*res.Iterations[bestProduct].AvgReputation {
+			bestProduct = i
+		}
+	}
+	res.Selected = bestPayoff
+	res.SelectedByProduct = bestProduct
+	// Ensure the selected VO carries its assignment even when
+	// KeepAssignments was off: re-solve once (cheap relative to the run).
+	if bestPayoff >= 0 && res.Iterations[bestPayoff].Assignment == nil {
+		sol := assign.Solve(sc.Instance(res.Iterations[bestPayoff].Members), opts.Solver)
+		if sol.Feasible {
+			res.Iterations[bestPayoff].Assignment = sol.Assign
+		}
+	}
+}
+
+// betterPayoff orders feasible records by payoff, ties toward higher
+// average reputation, then toward larger VOs (earlier iterations).
+func betterPayoff(a, b *IterationRecord) bool {
+	if a.Payoff != b.Payoff {
+		return a.Payoff > b.Payoff
+	}
+	if a.AvgReputation != b.AvgReputation {
+		return a.AvgReputation > b.AvgReputation
+	}
+	return len(a.Members) > len(b.Members)
+}

@@ -1,0 +1,91 @@
+// Package mechanism implements the paper's VO formation mechanisms:
+// TVOF (Algorithm 1, trust-based eviction) and the RVOF baseline (random
+// eviction), plus the ablation variants that swap the eviction rule for
+// other centrality measures. A mechanism run consumes a Scenario — the
+// program, the GSPs with their cost/time matrices, the deadline and
+// payment, and the trust graph — and produces a full iteration trace from
+// which every figure of the paper's evaluation can be regenerated.
+package mechanism
+
+import (
+	"fmt"
+
+	"gridvo/internal/assign"
+	"gridvo/internal/grid"
+	"gridvo/internal/trust"
+	"gridvo/internal/workload"
+)
+
+// Scenario is one VO formation problem instance.
+type Scenario struct {
+	// Program is the application to execute (defines n and workloads).
+	Program *workload.Program
+	// GSPs are the m available providers.
+	GSPs []grid.GSP
+	// Cost[i][j] is c(T_j, G_i); Time[i][j] is t(T_j, G_i). Both are
+	// indexed by the *global* GSP index i.
+	Cost [][]float64
+	Time [][]float64
+	// Deadline d and Payment P of the user request.
+	Deadline float64
+	Payment  float64
+	// Trust is the trust graph over all m GSPs.
+	Trust *trust.Graph
+}
+
+// M returns the number of GSPs.
+func (sc *Scenario) M() int { return len(sc.GSPs) }
+
+// N returns the number of tasks.
+func (sc *Scenario) N() int { return sc.Program.N() }
+
+// Validate checks cross-field consistency.
+func (sc *Scenario) Validate() error {
+	m := len(sc.GSPs)
+	if sc.Program == nil {
+		return fmt.Errorf("mechanism: scenario without a program")
+	}
+	if sc.Trust == nil {
+		return fmt.Errorf("mechanism: scenario without a trust graph")
+	}
+	if sc.Trust.N() != m {
+		return fmt.Errorf("mechanism: trust graph over %d GSPs, scenario has %d", sc.Trust.N(), m)
+	}
+	if len(sc.Cost) != m || len(sc.Time) != m {
+		return fmt.Errorf("mechanism: cost/time rows (%d/%d) != %d GSPs", len(sc.Cost), len(sc.Time), m)
+	}
+	n := sc.Program.N()
+	for i := 0; i < m; i++ {
+		if len(sc.Cost[i]) != n || len(sc.Time[i]) != n {
+			return fmt.Errorf("mechanism: row %d has %d/%d columns, want %d", i, len(sc.Cost[i]), len(sc.Time[i]), n)
+		}
+	}
+	if sc.Deadline <= 0 {
+		return fmt.Errorf("mechanism: non-positive deadline %v", sc.Deadline)
+	}
+	if sc.Payment <= 0 {
+		return fmt.Errorf("mechanism: non-positive payment %v", sc.Payment)
+	}
+	return nil
+}
+
+// Instance builds the assignment sub-problem for the VO whose members are
+// the given global GSP indices: rows restricted to members, the scenario
+// deadline, and the payment as budget (constraint 10).
+func (sc *Scenario) Instance(members []int) *assign.Instance {
+	return &assign.Instance{
+		Cost:     grid.SubRows(sc.Cost, members),
+		Time:     grid.SubRows(sc.Time, members),
+		Deadline: sc.Deadline,
+		Budget:   sc.Payment,
+	}
+}
+
+// Value computes the characteristic function v(C) of eq. (15) for the
+// member set, given a solved assignment: P − C(T,C) when feasible, else 0.
+func (sc *Scenario) Value(sol *assign.Solution) float64 {
+	if !sol.Feasible {
+		return 0
+	}
+	return sc.Payment - sol.Cost
+}

@@ -1,0 +1,75 @@
+package mechanism
+
+import (
+	"gridvo/internal/assign"
+	"gridvo/internal/coalition"
+	"gridvo/internal/reputation"
+	"gridvo/internal/xrand"
+)
+
+// TVOF runs the Trust-based VO Formation mechanism (Algorithm 1) with
+// default options: power-method reputation eviction, default solver budget.
+func TVOF(sc *Scenario, rng *xrand.RNG) (*Result, error) {
+	return Run(sc, Options{Eviction: EvictLowestReputation}, rng)
+}
+
+// RVOF runs the Random VO Formation baseline: identical to TVOF except a
+// uniformly random member is evicted each iteration (Section IV-B).
+func RVOF(sc *Scenario, rng *xrand.RNG) (*Result, error) {
+	return Run(sc, Options{Eviction: EvictRandom}, rng)
+}
+
+// ReputationCriterion selects how a member scores the reputation of a VO
+// when comparing VOs in the stability check.
+type ReputationCriterion int
+
+const (
+	// CriterionTotal scores a VO by the *sum* of its members' global
+	// reputation — the quantity the proof of Theorem 1 reasons with
+	// ("removing G decreases the total reputation of GSPs in C").
+	// Under this criterion every departure strictly lowers the
+	// reputation term, so TVOF's VOs are individually stable.
+	CriterionTotal ReputationCriterion = iota
+	// CriterionAverage scores a VO by the average global reputation of
+	// its members, the literal reading of eq. (17). Under this criterion
+	// individual stability can fail: removing a below-average-reputation
+	// member raises the average, and the per-member payoff share can
+	// rise too, so a departure can Pareto-improve the rest. The paper's
+	// Theorem 1 does not hold under this reading; see EXPERIMENTS.md.
+	CriterionAverage
+)
+
+// StabilityCheck evaluates Definition 1 (individual stability) for the
+// selected VO of a result under the given reputation criterion: it asks,
+// for each member G, whether the rest would weakly prefer the VO without G
+// with someone strictly preferring it. The evaluation solves the
+// assignment IP for each |C|−1-member candidate, so it costs |C| extra IP
+// solves — intended for analysis and tests, not the mechanism's hot path.
+func StabilityCheck(sc *Scenario, res *Result, opts Options, criterion ReputationCriterion) (stable bool, destabilizer int, err error) {
+	opts.fillDefaults()
+	final := res.Final()
+	if final == nil || len(final.Members) <= 1 {
+		return true, -1, nil
+	}
+	global := res.GlobalReputation
+	if global == nil {
+		global, _, err = reputation.Global(sc.Trust, opts.Reputation)
+		if err != nil {
+			return false, -1, err
+		}
+	}
+	eval := func(member int, members []int) coalition.Outcome {
+		sol := assign.Solve(sc.Instance(members), opts.Solver)
+		payoff := 0.0
+		if sol.Feasible {
+			payoff = sc.Value(&sol) / float64(len(members))
+		}
+		rep := reputation.AverageOf(global, members)
+		if criterion == CriterionTotal {
+			rep *= float64(len(members))
+		}
+		return coalition.Outcome{Payoff: payoff, Reputation: rep}
+	}
+	stable, destabilizer = coalition.IsIndividuallyStable(final.Members, eval)
+	return stable, destabilizer, nil
+}

@@ -1,0 +1,135 @@
+package reputation
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"gridvo/internal/matrix"
+	"gridvo/internal/trust"
+)
+
+// Distributed power method: the paper's mechanism is run by a trusted
+// central party, but its related work surveys distributed reputation
+// computation (Avrachenkov et al.'s survey, QGrid, EigenTrust). This file
+// provides a decentralized execution of Algorithm 2: one worker goroutine
+// per GSP, no shared trust matrix — each node knows only its outgoing
+// trust (its normalized row) and, per synchronous round, sends each
+// neighbour its weighted score share and folds the shares it receives
+// (eq. 4: x_j^{q+1} = Σ_i a_ij · x_i^q).
+//
+// Floating-point reproducibility across schedules is preserved by sorting
+// each node's inbox by sender before summing — the order messages arrive
+// in never changes the result, so DistributedGlobal agrees with the
+// centralized Global bit-for-bit round by round (both sum in ascending
+// sender order).
+
+// message is one round's share from a sender node.
+type message struct {
+	from  int
+	share float64
+}
+
+// DistributedGlobal computes the global reputation vector with the
+// decentralized protocol above. It returns the same vector as Global
+// (within floating-point tolerance) and diagnostics whose Iterations
+// counts protocol rounds.
+func DistributedGlobal(g *trust.Graph, opts Options) ([]float64, Diagnostics, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, Diagnostics{}, ErrEmptyGraph
+	}
+	eps := opts.Epsilon
+	if eps == 0 {
+		eps = DefaultEpsilon
+	}
+	maxIter := opts.MaxIter
+	if maxIter == 0 {
+		maxIter = DefaultMaxIter
+	}
+	if opts.Damping != 0 {
+		return nil, Diagnostics{}, fmt.Errorf("reputation: distributed protocol does not implement damping")
+	}
+
+	// Each node's local knowledge: its normalized outgoing row.
+	a, dangling := g.Normalized(trust.NormalizeOptions{DanglingUniform: opts.DanglingUniform})
+	rows := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		rows[i] = a.Row(i)
+	}
+
+	// Channels: one inbox per node per round, buffered for all senders.
+	x := matrix.Uniform(n)
+	var diag Diagnostics
+	diag.Dangling = dangling
+
+	inbox := make([]chan message, n)
+	for j := range inbox {
+		inbox[j] = make(chan message, n)
+	}
+
+	for round := 0; round < maxIter; round++ {
+		// Send phase: every node splits its score along its row.
+		var sendWG sync.WaitGroup
+		for i := 0; i < n; i++ {
+			sendWG.Add(1)
+			go func(i int) {
+				defer sendWG.Done()
+				xi := x[i]
+				for j, w := range rows[i] {
+					if w != 0 {
+						inbox[j] <- message{from: i, share: w * xi}
+					}
+				}
+			}(i)
+		}
+		sendWG.Wait()
+
+		// Receive phase: every node drains its inbox, sorts by sender
+		// for reproducible summation, and updates its score.
+		next := make([]float64, n)
+		var recvWG sync.WaitGroup
+		for j := 0; j < n; j++ {
+			recvWG.Add(1)
+			go func(j int) {
+				defer recvWG.Done()
+				var msgs []message
+				for {
+					select {
+					case m := <-inbox[j]:
+						msgs = append(msgs, m)
+						continue
+					default:
+					}
+					break
+				}
+				sort.Slice(msgs, func(a, b int) bool { return msgs[a].from < msgs[b].from })
+				s := 0.0
+				for _, m := range msgs {
+					s += m.share
+				}
+				next[j] = s
+			}(j)
+		}
+		recvWG.Wait()
+
+		// Normalization + convergence check: in a real deployment this
+		// is an all-reduce; here the barrier plays that role.
+		matrix.VecNormalizeL1(next)
+		var delta float64
+		switch opts.Stop {
+		case StopAvgRelErr:
+			delta = matrix.AvgRelErr(next, x)
+		default:
+			delta = matrix.VecDiffNormL2(next, x)
+		}
+		x = next
+		diag.Iterations = round + 1
+		diag.Delta = delta
+		if delta < eps {
+			diag.Converged = true
+			break
+		}
+	}
+	return x, diag, nil
+}

@@ -1,0 +1,84 @@
+package reputation
+
+import (
+	"math"
+	"testing"
+
+	"gridvo/internal/matrix"
+	"gridvo/internal/trust"
+	"gridvo/internal/xrand"
+)
+
+func TestDistributedMatchesCentralized(t *testing.T) {
+	for trial := 0; trial < 15; trial++ {
+		g := trust.ErdosRenyi(xrand.New(uint64(trial+1)), 12, 0.3)
+		cx, cd, err := Global(g, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		dx, dd, err := DistributedGlobal(g, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cd.Converged != dd.Converged {
+			t.Fatalf("trial %d: convergence mismatch", trial)
+		}
+		if !matrix.VecEqual(cx, dx, 1e-12) {
+			t.Fatalf("trial %d: distributed %v != centralized %v", trial, dx, cx)
+		}
+		if cd.Iterations != dd.Iterations {
+			t.Fatalf("trial %d: rounds %d != iterations %d", trial, dd.Iterations, cd.Iterations)
+		}
+	}
+}
+
+func TestDistributedDeterministicAcrossRuns(t *testing.T) {
+	g := trust.ErdosRenyi(xrand.New(77), 16, 0.25)
+	a, _, err := DistributedGlobal(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 5; run++ {
+		b, _, err := DistributedGlobal(g, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("run %d: bit-level nondeterminism at node %d", run, i)
+			}
+		}
+	}
+}
+
+func TestDistributedEmptyGraph(t *testing.T) {
+	if _, _, err := DistributedGlobal(trust.NewGraph(0), DefaultOptions()); err != ErrEmptyGraph {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDistributedRejectsDamping(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Damping = 0.15
+	if _, _, err := DistributedGlobal(trust.NewGraph(2), opts); err == nil {
+		t.Fatal("damping accepted by the distributed protocol")
+	}
+}
+
+func TestDistributedStopRules(t *testing.T) {
+	g := trust.ErdosRenyi(xrand.New(5), 10, 0.4)
+	for _, rule := range []StopRule{StopNormDiff, StopAvgRelErr} {
+		opts := DefaultOptions()
+		opts.Stop = rule
+		x, diag, err := DistributedGlobal(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !diag.Converged {
+			t.Fatalf("%v did not converge", rule)
+		}
+		if math.Abs(matrix.VecSum(x)-1) > 1e-9 {
+			t.Fatalf("%v: not normalized", rule)
+		}
+	}
+}

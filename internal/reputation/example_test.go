@@ -1,0 +1,57 @@
+package reputation_test
+
+import (
+	"fmt"
+
+	"gridvo/internal/reputation"
+	"gridvo/internal/trust"
+)
+
+// ExampleGlobal computes global reputation on a tiny asymmetric trust
+// graph: everyone trusts node 0 heavily, so it dominates the eigenvector.
+func ExampleGlobal() {
+	g := trust.NewGraph(3)
+	g.SetTrust(1, 0, 1.0)
+	g.SetTrust(2, 0, 1.0)
+	g.SetTrust(0, 1, 0.5)
+	g.SetTrust(0, 2, 0.5)
+	g.SetTrust(1, 2, 0.2)
+	g.SetTrust(2, 1, 0.2)
+
+	x, diag, err := reputation.Global(g, reputation.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("converged: %v\n", diag.Converged)
+	fmt.Printf("highest reputation: G%d\n", argmax(x))
+	fmt.Printf("x sums to one: %v\n", abs(sum(x)-1) < 1e-9)
+	// Output:
+	// converged: true
+	// highest reputation: G0
+	// x sums to one: true
+}
+
+func argmax(x []float64) int {
+	best := 0
+	for i, v := range x {
+		if v > x[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func sum(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

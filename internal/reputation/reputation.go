@@ -1,0 +1,196 @@
+// Package reputation computes global reputation scores for GSPs from a
+// trust graph, implementing Section II-B and Algorithm 2 of the paper.
+//
+// The global reputation vector x is the left principal eigenvector of the
+// normalized trust matrix A (eq. 6: λx = Aᵀx), found with the power method:
+// start from the uniform vector x⁰ᵢ = 1/|C| and iterate x^{q+1} = Aᵀ x^q
+// until successive iterates differ by less than ε. Intuitively, a GSP has
+// high reputation to the extent that GSPs who themselves have high
+// reputation place trust in it — eigenvector centrality on the trust graph.
+//
+// Besides the paper's power method, the package provides the classic
+// centrality measures the related-work section surveys (degree, closeness,
+// betweenness, PageRank, and an EigenTrust-style variant), which the bench
+// harness uses for eviction-rule ablations.
+package reputation
+
+import (
+	"errors"
+	"fmt"
+
+	"gridvo/internal/matrix"
+	"gridvo/internal/trust"
+)
+
+// StopRule selects the convergence test of the power iteration.
+type StopRule int
+
+const (
+	// StopNormDiff stops when ‖x^{q+1} − x^q‖₂ < ε — the rule in the
+	// pseudocode of Algorithm 2 (line 6–7).
+	StopNormDiff StopRule = iota
+	// StopAvgRelErr stops when the average relative error between
+	// x^{q+1} and x^q is below ε — the rule described in the paper's
+	// prose ("the average relative error ... smaller than the given
+	// threshold").
+	StopAvgRelErr
+)
+
+// String returns the rule name for logs and experiment metadata.
+func (s StopRule) String() string {
+	switch s {
+	case StopNormDiff:
+		return "norm-diff"
+	case StopAvgRelErr:
+		return "avg-rel-err"
+	default:
+		return fmt.Sprintf("StopRule(%d)", int(s))
+	}
+}
+
+// Options parameterize the power method.
+type Options struct {
+	// Epsilon is the convergence threshold ε. Zero selects DefaultEpsilon.
+	Epsilon float64
+	// MaxIter bounds the number of iterations; zero selects
+	// DefaultMaxIter. If the bound is hit, Global returns the last
+	// iterate with Diagnostics.Converged == false and a nil error —
+	// mechanisms keep running with the best available scores, matching
+	// how a real deployment would behave.
+	MaxIter int
+	// Stop selects the convergence test; the zero value is StopNormDiff,
+	// matching the pseudocode.
+	Stop StopRule
+	// Damping, when in (0,1), mixes a uniform teleport into every step:
+	// x ← (1−d)·Aᵀx + d·(1/n). The paper's method is the undamped d = 0;
+	// damping is provided for ablations on sparse graphs where the
+	// undamped chain is reducible and mass drains into closed subsets.
+	Damping float64
+	// DanglingUniform selects how eq. (1) treats GSPs without outgoing
+	// trust; see trust.NormalizeOptions. The mechanism default is true.
+	DanglingUniform bool
+}
+
+// DefaultEpsilon is the convergence threshold used when Options.Epsilon is
+// zero. Reputation differences far below this never change an eviction
+// decision among 16 GSPs.
+const DefaultEpsilon = 1e-9
+
+// DefaultMaxIter bounds the power iteration when Options.MaxIter is zero.
+const DefaultMaxIter = 10000
+
+// DefaultOptions returns the configuration the TVOF mechanism uses: the
+// pseudocode stopping rule, uniform dangling fix, no damping.
+func DefaultOptions() Options {
+	return Options{DanglingUniform: true}
+}
+
+// Diagnostics report how the power iteration behaved.
+type Diagnostics struct {
+	Iterations int     // number of multiply steps performed
+	Delta      float64 // final value of the convergence metric
+	Converged  bool    // whether Delta < ε within MaxIter
+	Dangling   []int   // GSPs with no outgoing trust (patched per options)
+}
+
+// ErrEmptyGraph is returned when reputation is requested for a graph with
+// no GSPs.
+var ErrEmptyGraph = errors.New("reputation: empty trust graph")
+
+// Global computes the global reputation vector of all GSPs in g — the
+// left principal eigenvector of the normalized trust matrix — using the
+// power method of Algorithm 2. The returned vector is non-negative and
+// L1-normalized (it sums to 1 unless the graph has no trust mass at all).
+func Global(g *trust.Graph, opts Options) ([]float64, Diagnostics, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, Diagnostics{}, ErrEmptyGraph
+	}
+	a, dangling := g.Normalized(trust.NormalizeOptions{DanglingUniform: opts.DanglingUniform})
+	x, diag := PowerIterate(a, opts)
+	diag.Dangling = dangling
+	return x, diag, nil
+}
+
+// PowerIterate runs the power method x^{q+1} = Aᵀ x^q on an already
+// normalized matrix, renormalizing the iterate to unit L1 norm each step
+// (A may be substochastic when dangling rows were kept zero; without
+// renormalization the iterate would decay in magnitude while keeping the
+// same direction). The matrix must be square.
+func PowerIterate(a *matrix.Dense, opts Options) ([]float64, Diagnostics) {
+	if a.Rows() != a.Cols() {
+		panic(fmt.Sprintf("reputation: PowerIterate on %dx%d matrix", a.Rows(), a.Cols()))
+	}
+	n := a.Rows()
+	if n == 0 {
+		return nil, Diagnostics{Converged: true}
+	}
+	eps := opts.Epsilon
+	if eps == 0 {
+		eps = DefaultEpsilon
+	}
+	maxIter := opts.MaxIter
+	if maxIter == 0 {
+		maxIter = DefaultMaxIter
+	}
+	if opts.Damping < 0 || opts.Damping >= 1 {
+		if opts.Damping != 0 {
+			panic(fmt.Sprintf("reputation: damping %v outside [0,1)", opts.Damping))
+		}
+	}
+
+	x := matrix.Uniform(n)
+	var diag Diagnostics
+	for q := 0; q < maxIter; q++ {
+		next := a.TMulVec(x)
+		if opts.Damping > 0 {
+			d := opts.Damping
+			u := d / float64(n)
+			for i := range next {
+				next[i] = (1-d)*next[i] + u
+			}
+		}
+		matrix.VecNormalizeL1(next)
+		var delta float64
+		switch opts.Stop {
+		case StopAvgRelErr:
+			delta = matrix.AvgRelErr(next, x)
+		default:
+			delta = matrix.VecDiffNormL2(next, x)
+		}
+		x = next
+		diag.Iterations = q + 1
+		diag.Delta = delta
+		if delta < eps {
+			diag.Converged = true
+			break
+		}
+	}
+	return x, diag
+}
+
+// Average returns the average global reputation x̄(C) of a set of GSPs
+// given their reputation scores (eq. 7). It returns 0 for an empty vector.
+func Average(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	return matrix.VecSum(x) / float64(len(x))
+}
+
+// AverageOf returns the average reputation of the subset idx of a full
+// reputation vector — x̄ over a candidate VO using globally computed
+// scores. It panics on out-of-range indices.
+func AverageOf(x []float64, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, i := range idx {
+		if i < 0 || i >= len(x) {
+			panic(fmt.Sprintf("reputation: AverageOf index %d out of range [0,%d)", i, len(x)))
+		}
+		s += x[i]
+	}
+	return s / float64(len(idx))
+}

@@ -1,0 +1,294 @@
+package reputation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gridvo/internal/matrix"
+	"gridvo/internal/trust"
+	"gridvo/internal/xrand"
+)
+
+func ring(n int) *trust.Graph {
+	g := trust.NewGraph(n)
+	for i := 0; i < n; i++ {
+		g.SetTrust(i, (i+1)%n, 1)
+	}
+	return g
+}
+
+func TestGlobalEmptyGraph(t *testing.T) {
+	if _, _, err := Global(trust.NewGraph(0), DefaultOptions()); err != ErrEmptyGraph {
+		t.Fatalf("err = %v, want ErrEmptyGraph", err)
+	}
+}
+
+func TestGlobalSingleton(t *testing.T) {
+	x, diag, err := Global(trust.NewGraph(1), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(x) != 1 || math.Abs(x[0]-1) > 1e-12 {
+		t.Fatalf("singleton reputation = %v, want [1]", x)
+	}
+	if !diag.Converged {
+		t.Fatal("singleton did not converge")
+	}
+}
+
+func TestGlobalRingIsUniform(t *testing.T) {
+	// In a symmetric ring every GSP is structurally identical, so the
+	// principal eigenvector is uniform.
+	x, diag, err := Global(ring(6), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diag.Converged {
+		t.Fatal("ring did not converge")
+	}
+	for _, v := range x {
+		if math.Abs(v-1.0/6) > 1e-6 {
+			t.Fatalf("ring reputation = %v, want uniform", x)
+		}
+	}
+}
+
+func TestGlobalIsLeftEigenvector(t *testing.T) {
+	// The converged vector must satisfy Aᵀx ∝ x (eq. 6).
+	rng := xrand.New(3)
+	for trial := 0; trial < 25; trial++ {
+		g := trust.ErdosRenyi(rng.SplitN("g", trial), 10, 0.4)
+		x, diag, err := Global(g, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !diag.Converged {
+			continue // reducible pathological case; other tests cover it
+		}
+		a, _ := g.Normalized(trust.NormalizeOptions{DanglingUniform: true})
+		ax := a.TMulVec(x)
+		matrix.VecNormalizeL1(ax)
+		if !matrix.VecEqual(ax, x, 1e-6) {
+			t.Fatalf("trial %d: Aᵀx != λx:\nx  = %v\nAᵀx = %v", trial, x, ax)
+		}
+	}
+}
+
+func TestGlobalNonNegativeSumsToOne(t *testing.T) {
+	rng := xrand.New(5)
+	f := func(seed uint32) bool {
+		g := trust.ErdosRenyi(xrand.New(uint64(seed)), 8+rng.IntN(8), 0.2)
+		x, _, err := Global(g, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, v := range x {
+			if v < -1e-12 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHighlyTrustedNodeWins(t *testing.T) {
+	// A star where everyone trusts node 0 strongly and others weakly:
+	// node 0 must have the highest reputation.
+	g := trust.NewGraph(5)
+	for i := 1; i < 5; i++ {
+		g.SetTrust(i, 0, 1.0)
+		g.SetTrust(i, (i%4)+1, 0.1) // weak side edges among the leaves
+		g.SetTrust(0, i, 0.25)
+	}
+	x, _, err := Global(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matrix.ArgMax(x) != 0 {
+		t.Fatalf("reputation = %v; node 0 should dominate", x)
+	}
+}
+
+func TestUntrustedNodeScoresLowest(t *testing.T) {
+	// Node 3 receives no trust at all; with dangling-uniform fix it still
+	// gets a trickle from dangling rows but must rank strictly below the
+	// trusted core when the core is strongly connected.
+	g := ring(3) // nodes 0..2 strongly connected
+	full := trust.NewGraph(4)
+	for _, e := range g.Edges() {
+		full.SetTrust(e.From, e.To, e.Weight)
+	}
+	full.SetTrust(3, 0, 1) // node 3 trusts the core, nobody trusts it
+	x, _, err := Global(full, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matrix.ArgMin(x) != 3 {
+		t.Fatalf("reputation = %v; node 3 should be lowest", x)
+	}
+}
+
+func TestStopRules(t *testing.T) {
+	g := trust.ErdosRenyi(xrand.New(9), 12, 0.3)
+	for _, rule := range []StopRule{StopNormDiff, StopAvgRelErr} {
+		opts := DefaultOptions()
+		opts.Stop = rule
+		x, diag, err := Global(g, opts)
+		if err != nil {
+			t.Fatalf("%v: %v", rule, err)
+		}
+		if !diag.Converged {
+			t.Fatalf("%v did not converge", rule)
+		}
+		if math.Abs(matrix.VecSum(x)-1) > 1e-9 {
+			t.Fatalf("%v: not normalized", rule)
+		}
+	}
+	if StopNormDiff.String() != "norm-diff" || StopAvgRelErr.String() != "avg-rel-err" {
+		t.Fatal("StopRule.String wrong")
+	}
+	if StopRule(99).String() == "" {
+		t.Fatal("unknown StopRule has empty String")
+	}
+}
+
+func TestMaxIterRespected(t *testing.T) {
+	g := trust.ErdosRenyi(xrand.New(10), 16, 0.2)
+	opts := DefaultOptions()
+	opts.MaxIter = 2
+	opts.Epsilon = 1e-300 // unreachable
+	_, diag, err := Global(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diag.Converged || diag.Iterations != 2 {
+		t.Fatalf("diag = %+v, want 2 iterations, not converged", diag)
+	}
+}
+
+func TestDampingValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("damping > 1 did not panic")
+		}
+	}()
+	opts := DefaultOptions()
+	opts.Damping = 1.5
+	_, _, _ = Global(ring(3), opts)
+}
+
+func TestDampingKeepsUniformOnRing(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Damping = 0.15
+	x, diag, err := Global(ring(5), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diag.Converged {
+		t.Fatal("damped ring did not converge")
+	}
+	for _, v := range x {
+		if math.Abs(v-0.2) > 1e-6 {
+			t.Fatalf("damped ring reputation = %v, want uniform", x)
+		}
+	}
+}
+
+func TestDanglingDiagnostics(t *testing.T) {
+	g := trust.NewGraph(3)
+	g.SetTrust(0, 1, 1) // nodes 1 and 2 have no outgoing trust
+	_, diag, err := Global(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diag.Dangling) != 2 {
+		t.Fatalf("dangling = %v, want two entries", diag.Dangling)
+	}
+}
+
+func TestSubstochasticModeStillNormalized(t *testing.T) {
+	g := trust.NewGraph(3)
+	g.SetTrust(0, 1, 1)
+	g.SetTrust(1, 0, 1)
+	// Node 2 dangles; with DanglingUniform=false the matrix is
+	// substochastic and the iterate must be renormalized to survive.
+	opts := Options{DanglingUniform: false}
+	x, _, err := Global(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(matrix.VecSum(x)-1) > 1e-9 {
+		t.Fatalf("substochastic iterate not renormalized: %v", x)
+	}
+}
+
+func TestPowerIterateNonSquarePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-square PowerIterate did not panic")
+		}
+	}()
+	PowerIterate(matrix.NewDense(2, 3), DefaultOptions())
+}
+
+func TestPowerIterateEmpty(t *testing.T) {
+	x, diag := PowerIterate(matrix.NewDense(0, 0), DefaultOptions())
+	if x != nil || !diag.Converged {
+		t.Fatal("empty matrix should converge vacuously")
+	}
+}
+
+func TestAverage(t *testing.T) {
+	if Average(nil) != 0 {
+		t.Fatal("Average(nil) != 0")
+	}
+	if got := Average([]float64{0.2, 0.4}); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("Average = %v", got)
+	}
+}
+
+func TestAverageOf(t *testing.T) {
+	x := []float64{0.1, 0.2, 0.3, 0.4}
+	if got := AverageOf(x, []int{1, 3}); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("AverageOf = %v", got)
+	}
+	if AverageOf(x, nil) != 0 {
+		t.Fatal("AverageOf empty != 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range AverageOf did not panic")
+		}
+	}()
+	AverageOf(x, []int{7})
+}
+
+func TestEvictionInvariance(t *testing.T) {
+	// Recomputing reputation on the subgraph after evicting the lowest-
+	// reputation GSP (as TVOF does) must produce a valid distribution.
+	g := trust.ErdosRenyi(xrand.New(21), 16, 0.3)
+	for g.N() > 1 {
+		x, _, err := Global(g, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		lowest := matrix.ArgMin(x)
+		g, _ = g.Without(lowest)
+		x2, _, err := Global(g, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(x2) != g.N() {
+			t.Fatal("reputation length mismatch after eviction")
+		}
+		if math.Abs(matrix.VecSum(x2)-1) > 1e-9 {
+			t.Fatalf("post-eviction reputation not normalized: %v", x2)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package sim
+
+import (
+	"fmt"
+
+	"gridvo/internal/tablewriter"
+)
+
+// EvolutionTable renders a trust-evolution trajectory.
+func EvolutionTable(r *EvolutionResult, title string) *tablewriter.Table {
+	t := tablewriter.New("round", "vo_size", "mean_reliability", "avg_reputation", "trust_edges", "interactions")
+	t.SetTitle(title)
+	for _, rd := range r.Rounds {
+		t.AddRow(
+			tablewriter.Itoa(rd.Round),
+			tablewriter.Itoa(len(rd.Members)),
+			tablewriter.Ftoa(rd.MeanReliability, 3),
+			tablewriter.Ftoa(rd.AvgReputation, 4),
+			tablewriter.Itoa(rd.TrustEdges),
+			tablewriter.Itoa(rd.Interactions),
+		)
+	}
+	return t
+}
+
+// EvolutionComparisonTitle builds a consistent title for the harness.
+func EvolutionComparisonTitle(rule string, retention float64) string {
+	if retention > 0 {
+		return fmt.Sprintf("Trust evolution (%s, decaying trust, retention %.2f/round)", rule, retention)
+	}
+	return fmt.Sprintf("Trust evolution (%s, undecayed trust)", rule)
+}

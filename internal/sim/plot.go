@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"fmt"
+
+	"gridvo/internal/stats"
+	"gridvo/internal/viz"
+)
+
+// Chart builders mirroring the render.go tables: `vosim -plot` draws these
+// ASCII figures so the trends are visible directly in the terminal.
+
+func sweepChart(s *SweepResult, title, ylabel string, tvof, rvof func(p SweepPoint) float64) *viz.Chart {
+	c := &viz.Chart{
+		Title:  title,
+		XLabel: "tasks (log scale)",
+		YLabel: ylabel,
+		LogX:   true,
+	}
+	var tv, rv []float64
+	for _, p := range s.Points {
+		c.X = append(c.X, float64(p.Size))
+		tv = append(tv, tvof(p))
+		rv = append(rv, rvof(p))
+	}
+	c.Series = []viz.Series{{Name: "tvof", Y: tv}, {Name: "rvof", Y: rv}}
+	return c
+}
+
+// Fig1Chart plots individual payoff vs task count.
+func Fig1Chart(s *SweepResult) *viz.Chart {
+	return sweepChart(s, "Fig. 1: GSP individual payoff", "payoff",
+		func(p SweepPoint) float64 { return stats.Mean(p.TVOFPayoff) },
+		func(p SweepPoint) float64 { return stats.Mean(p.RVOFPayoff) })
+}
+
+// Fig2Chart plots final VO size vs task count.
+func Fig2Chart(s *SweepResult) *viz.Chart {
+	return sweepChart(s, "Fig. 2: size of the final VO", "|C|",
+		func(p SweepPoint) float64 { return stats.Mean(p.TVOFSize) },
+		func(p SweepPoint) float64 { return stats.Mean(p.RVOFSize) })
+}
+
+// Fig3Chart plots average global reputation vs task count.
+func Fig3Chart(s *SweepResult) *viz.Chart {
+	return sweepChart(s, "Fig. 3: average global reputation of the final VO", "x̄(C)",
+		func(p SweepPoint) float64 { return stats.Mean(p.TVOFRep) },
+		func(p SweepPoint) float64 { return stats.Mean(p.RVOFRep) })
+}
+
+// Fig9Chart plots mechanism execution time vs task count.
+func Fig9Chart(s *SweepResult) *viz.Chart {
+	return sweepChart(s, "Fig. 9: mechanism execution time", "seconds",
+		func(p SweepPoint) float64 { return stats.Mean(p.TVOFSec) },
+		func(p SweepPoint) float64 { return stats.Mean(p.RVOFSec) })
+}
+
+// Fig4Chart plots the per-program payoff comparison.
+func Fig4Chart(r *Fig4Result) *viz.Chart {
+	c := &viz.Chart{
+		Title:  "Fig. 4: per-program payoff (TVOF pick vs payoff×reputation pick)",
+		XLabel: "program",
+		YLabel: "payoff",
+	}
+	var best, prod []float64
+	for i, p := range r.Programs {
+		c.X = append(c.X, float64(i+1))
+		best = append(best, p.PayoffBest)
+		prod = append(prod, p.PayoffByProduct)
+	}
+	c.Series = []viz.Series{{Name: "tvof", Y: best}, {Name: "max-product", Y: prod}}
+	return c
+}
+
+// TraceChart plots one iteration trajectory (Figs. 5–8): payoff and
+// scaled average reputation against the shrinking VO size.
+func TraceChart(tr *TraceResult, figure string) *viz.Chart {
+	c := &viz.Chart{
+		Title:  fmt.Sprintf("%s: program %s, %s iterations (reputation ×max-payoff for scale)", figure, tr.Program, tr.Rule),
+		XLabel: "iteration (VO shrinks by one GSP per step)",
+		YLabel: "payoff / scaled reputation",
+	}
+	maxPay := 0.0
+	for _, p := range tr.Payoffs {
+		if p > maxPay {
+			maxPay = p
+		}
+	}
+	if maxPay == 0 {
+		maxPay = 1
+	}
+	maxRep := 0.0
+	for _, r := range tr.AvgReps {
+		if r > maxRep {
+			maxRep = r
+		}
+	}
+	if maxRep == 0 {
+		maxRep = 1
+	}
+	var pay, rep []float64
+	for i := range tr.Sizes {
+		c.X = append(c.X, float64(i))
+		pay = append(pay, tr.Payoffs[i])
+		rep = append(rep, tr.AvgReps[i]/maxRep*maxPay)
+	}
+	c.Series = []viz.Series{{Name: "payoff", Y: pay}, {Name: "avg-reputation(scaled)", Y: rep}}
+	return c
+}

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"fmt"
+
+	"gridvo/internal/stats"
+	"gridvo/internal/tablewriter"
+)
+
+// This file renders experiment results as the tables/series the paper's
+// figures plot. Each FigN function returns a tablewriter.Table whose rows
+// are the figure's data series, ready for ASCII or CSV output.
+
+// Fig1Table renders "GSP's Individual Payoff" vs number of tasks.
+func Fig1Table(s *SweepResult) *tablewriter.Table {
+	t := tablewriter.New("tasks", "tvof_payoff", "tvof_ci95", "rvof_payoff", "rvof_ci95")
+	t.SetTitle("Fig. 1: GSP individual payoff in the final VO (mean over repetitions)")
+	for _, p := range s.Points {
+		t.AddRow(
+			tablewriter.Itoa(p.Size),
+			tablewriter.Ftoa(stats.Mean(p.TVOFPayoff), 2),
+			tablewriter.Ftoa(stats.CI95(p.TVOFPayoff), 2),
+			tablewriter.Ftoa(stats.Mean(p.RVOFPayoff), 2),
+			tablewriter.Ftoa(stats.CI95(p.RVOFPayoff), 2),
+		)
+	}
+	return t
+}
+
+// Fig2Table renders "Size of Final VO" vs number of tasks.
+func Fig2Table(s *SweepResult) *tablewriter.Table {
+	t := tablewriter.New("tasks", "tvof_vo_size", "rvof_vo_size")
+	t.SetTitle("Fig. 2: size of the final VO (mean over repetitions)")
+	for _, p := range s.Points {
+		t.AddRow(
+			tablewriter.Itoa(p.Size),
+			tablewriter.Ftoa(stats.Mean(p.TVOFSize), 2),
+			tablewriter.Ftoa(stats.Mean(p.RVOFSize), 2),
+		)
+	}
+	return t
+}
+
+// Fig3Table renders "GSP's Average Reputation" vs number of tasks.
+func Fig3Table(s *SweepResult) *tablewriter.Table {
+	t := tablewriter.New("tasks", "tvof_avg_reputation", "rvof_avg_reputation")
+	t.SetTitle("Fig. 3: average global reputation of the final VO's members")
+	for _, p := range s.Points {
+		t.AddRow(
+			tablewriter.Itoa(p.Size),
+			tablewriter.Ftoa(stats.Mean(p.TVOFRep), 4),
+			tablewriter.Ftoa(stats.Mean(p.RVOFRep), 4),
+		)
+	}
+	return t
+}
+
+// Fig4Table renders the per-program payoff comparison of Fig. 4.
+func Fig4Table(r *Fig4Result) *tablewriter.Table {
+	t := tablewriter.New("program", "payoff_tvof", "payoff_maxproduct", "same_vo")
+	t.SetTitle("Fig. 4: per-program payoff — TVOF pick vs payoff×reputation pick")
+	for _, p := range r.Programs {
+		t.AddRow(
+			p.Name,
+			tablewriter.Ftoa(p.PayoffBest, 2),
+			tablewriter.Ftoa(p.PayoffByProduct, 2),
+			fmt.Sprintf("%v", p.SamePick),
+		)
+	}
+	return t
+}
+
+// TraceTable renders an iteration trajectory (Figs. 5–8).
+func TraceTable(tr *TraceResult, figure string) *tablewriter.Table {
+	t := tablewriter.New("vo_size", "feasible", "payoff", "avg_reputation", "selected")
+	t.SetTitle(fmt.Sprintf("%s: program %s, %s iterations", figure, tr.Program, tr.Rule))
+	for i := range tr.Sizes {
+		sel := ""
+		if i == tr.Selected {
+			sel = "*"
+		}
+		t.AddRow(
+			tablewriter.Itoa(tr.Sizes[i]),
+			fmt.Sprintf("%v", tr.Feasible[i]),
+			tablewriter.Ftoa(tr.Payoffs[i], 2),
+			tablewriter.Ftoa(tr.AvgReps[i], 4),
+			sel,
+		)
+	}
+	return t
+}
+
+// Fig9Table renders mechanism execution time vs number of tasks.
+func Fig9Table(s *SweepResult) *tablewriter.Table {
+	t := tablewriter.New("tasks", "tvof_seconds", "rvof_seconds")
+	t.SetTitle("Fig. 9: mechanism execution time (mean seconds over repetitions)")
+	for _, p := range s.Points {
+		t.AddRow(
+			tablewriter.Itoa(p.Size),
+			tablewriter.Ftoa(stats.Mean(p.TVOFSec), 4),
+			tablewriter.Ftoa(stats.Mean(p.RVOFSec), 4),
+		)
+	}
+	return t
+}
+
+// Table1 renders the simulation parameters (Table I) for a config.
+func Table1(cfg Config) *tablewriter.Table {
+	t := tablewriter.New("param", "description", "value")
+	t.SetTitle("Table I: simulation parameters")
+	t.AddRow("m", "number of GSPs", tablewriter.Itoa(cfg.NumGSPs))
+	t.AddRow("n", "number of tasks", fmt.Sprint(cfg.ProgramSizes))
+	t.AddRow("s", "GSP speeds", "4.91 × U[16,128] GFLOPS")
+	t.AddRow("w", "task workload", "U[0.5,1.0] × maxGFLOP")
+	t.AddRow("t", "execution time", "w / s seconds")
+	t.AddRow("c", "cost matrix", "[1, 1000] (Braun, φb=100, φr=10)")
+	t.AddRow("d", "deadline", "U[0.3,2.0] × Runtime × n/1000 s")
+	t.AddRow("P", "payment", "U[0.2,0.4] × 1000 × n")
+	t.AddRow("p", "trust edge probability", tablewriter.Ftoa(cfg.TrustEdgeProb, 2))
+	t.AddRow("reps", "repetitions per point", tablewriter.Itoa(cfg.Repetitions))
+	t.AddRow("seed", "root seed", fmt.Sprint(cfg.Seed))
+	return t
+}

@@ -1,0 +1,131 @@
+package swf
+
+import (
+	"math"
+	"testing"
+
+	"gridvo/internal/xrand"
+)
+
+func TestGenerateAtlasDefaults(t *testing.T) {
+	tr := GenerateAtlas(xrand.New(1), GenOptions{})
+	if len(tr.Jobs) != 43778 {
+		t.Fatalf("jobs = %d, want 43778", len(tr.Jobs))
+	}
+	s := tr.Summarize(LargeRunTimeSec)
+	// Completed fraction ≈ 21915/43778 ≈ 0.5006.
+	frac := float64(s.CompletedJobs) / float64(s.TotalJobs)
+	if math.Abs(frac-0.5006) > 0.02 {
+		t.Fatalf("completed fraction = %v, want ~0.5006", frac)
+	}
+	// ~13% of completed jobs are large (guaranteed slots nudge it up a
+	// touch, still well within 2 points).
+	if math.Abs(s.LargeFraction-0.13) > 0.02 {
+		t.Fatalf("large fraction = %v, want ~0.13", s.LargeFraction)
+	}
+	if s.MinProcs < 8 || s.MaxProcs > 8832 {
+		t.Fatalf("procs out of published range: [%d,%d]", s.MinProcs, s.MaxProcs)
+	}
+}
+
+func TestGenerateAtlasGuaranteedSizes(t *testing.T) {
+	tr := GenerateAtlas(xrand.New(2), GenOptions{})
+	for _, size := range []int{256, 512, 1024, 2048, 4096, 8192} {
+		n := 0
+		for i := range tr.Jobs {
+			j := &tr.Jobs[i]
+			if j.AllocProcs == size && j.Completed() && j.RunTime >= LargeRunTimeSec && j.AvgCPUTime > 0 {
+				n++
+			}
+		}
+		if n < 12 {
+			t.Fatalf("size %d: only %d large completed jobs, want >= 12", size, n)
+		}
+	}
+}
+
+func TestGenerateAtlasDeterministic(t *testing.T) {
+	a := GenerateAtlas(xrand.New(3), GenOptions{NumJobs: 1000})
+	b := GenerateAtlas(xrand.New(3), GenOptions{NumJobs: 1000})
+	for i := range a.Jobs {
+		if a.Jobs[i] != b.Jobs[i] {
+			t.Fatalf("job %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestGenerateAtlasSubmitTimesMonotone(t *testing.T) {
+	tr := GenerateAtlas(xrand.New(4), GenOptions{NumJobs: 2000})
+	for i := 1; i < len(tr.Jobs); i++ {
+		if tr.Jobs[i].SubmitTime < tr.Jobs[i-1].SubmitTime {
+			t.Fatalf("submit times not monotone at job %d", i)
+		}
+	}
+}
+
+func TestGenerateAtlasSpan(t *testing.T) {
+	tr := GenerateAtlas(xrand.New(5), GenOptions{})
+	s := tr.Summarize(LargeRunTimeSec)
+	// Exponential interarrivals with mean span/n: total span within 10%.
+	if math.Abs(float64(s.SpanSeconds)-18_400_000) > 0.1*18_400_000 {
+		t.Fatalf("span = %d, want ~18.4e6", s.SpanSeconds)
+	}
+}
+
+func TestGenerateAtlasRunTimeBands(t *testing.T) {
+	tr := GenerateAtlas(xrand.New(6), GenOptions{NumJobs: 5000})
+	for i := range tr.Jobs {
+		j := &tr.Jobs[i]
+		if !j.Completed() {
+			continue
+		}
+		if j.RunTime < 0 || j.RunTime > 250_000 {
+			t.Fatalf("completed runtime %v out of band", j.RunTime)
+		}
+		if j.AvgCPUTime > j.RunTime+1e-9 {
+			t.Fatalf("job %d: CPU time %v exceeds runtime %v", j.JobNumber, j.AvgCPUTime, j.RunTime)
+		}
+	}
+}
+
+func TestGenerateAtlasProcsMultiplesOf8(t *testing.T) {
+	tr := GenerateAtlas(xrand.New(7), GenOptions{NumJobs: 3000})
+	for i := range tr.Jobs {
+		if tr.Jobs[i].AllocProcs%8 != 0 {
+			t.Fatalf("job %d procs = %d, not a multiple of 8", i, tr.Jobs[i].AllocProcs)
+		}
+	}
+}
+
+func TestGenerateAtlasSmallTraceCapsGuarantees(t *testing.T) {
+	// Fewer jobs than guarantee slots: the generator must not overflow.
+	tr := GenerateAtlas(xrand.New(8), GenOptions{NumJobs: 10})
+	if len(tr.Jobs) != 10 {
+		t.Fatalf("jobs = %d, want 10", len(tr.Jobs))
+	}
+}
+
+func TestGenerateAtlasPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative NumJobs did not panic")
+		}
+	}()
+	GenerateAtlas(xrand.New(1), GenOptions{NumJobs: -5})
+}
+
+func TestGenerateAtlasHeaderPresent(t *testing.T) {
+	tr := GenerateAtlas(xrand.New(9), GenOptions{NumJobs: 10})
+	if len(tr.Header) == 0 {
+		t.Fatal("no header lines")
+	}
+	found := false
+	for _, h := range tr.Header {
+		if h == "Version: 2.2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("missing Version header")
+	}
+}

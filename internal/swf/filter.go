@@ -1,0 +1,148 @@
+package swf
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Filter is a job predicate; filters compose with And.
+type Filter func(*Job) bool
+
+// CompletedOnly keeps jobs that finished successfully — the paper's first
+// selection step ("21,915 jobs that completed successfully").
+func CompletedOnly() Filter {
+	return func(j *Job) bool { return j.Completed() }
+}
+
+// MinRunTime keeps jobs with runtime >= seconds — the paper's "large jobs"
+// criterion uses 7200 s.
+func MinRunTime(seconds float64) Filter {
+	return func(j *Job) bool { return j.RunTime >= seconds }
+}
+
+// MinProcs keeps jobs that used at least p processors.
+func MinProcs(p int) Filter {
+	return func(j *Job) bool { return j.AllocProcs >= p }
+}
+
+// ExactProcs keeps jobs that used exactly p processors — how a program of a
+// given task count is selected from the log.
+func ExactProcs(p int) Filter {
+	return func(j *Job) bool { return j.AllocProcs == p }
+}
+
+// ValidForSimulation keeps jobs whose fields needed by the simulation are
+// present and positive: runtime, processors, CPU time.
+func ValidForSimulation() Filter {
+	return func(j *Job) bool {
+		return j.RunTime > 0 && j.AllocProcs > 0 && j.AvgCPUTime > 0
+	}
+}
+
+// And returns the conjunction of the given filters.
+func And(filters ...Filter) Filter {
+	return func(j *Job) bool {
+		for _, f := range filters {
+			if !f(j) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Select returns the jobs of t that pass the filter, in trace order.
+func (t *Trace) Select(f Filter) []Job {
+	var out []Job
+	for i := range t.Jobs {
+		if f(&t.Jobs[i]) {
+			out = append(out, t.Jobs[i])
+		}
+	}
+	return out
+}
+
+// Stats summarizes a trace the way Section IV-A reports the Atlas log.
+type Stats struct {
+	TotalJobs      int
+	CompletedJobs  int
+	LargeCompleted int     // completed jobs with runtime >= LargeRunTime
+	LargeFraction  float64 // LargeCompleted / CompletedJobs
+	MinProcs       int
+	MaxProcs       int
+	MinRunTime     float64
+	MaxRunTime     float64
+	SpanSeconds    int64 // last submit − first submit
+	LargeRunTime   float64
+}
+
+// Summarize computes Stats with the given large-job threshold (the paper
+// uses 7200 s).
+func (t *Trace) Summarize(largeRunTime float64) Stats {
+	s := Stats{TotalJobs: len(t.Jobs), LargeRunTime: largeRunTime}
+	if len(t.Jobs) == 0 {
+		return s
+	}
+	s.MinProcs = t.Jobs[0].AllocProcs
+	s.MinRunTime = t.Jobs[0].RunTime
+	var minSubmit, maxSubmit = t.Jobs[0].SubmitTime, t.Jobs[0].SubmitTime
+	for i := range t.Jobs {
+		j := &t.Jobs[i]
+		if j.AllocProcs < s.MinProcs {
+			s.MinProcs = j.AllocProcs
+		}
+		if j.AllocProcs > s.MaxProcs {
+			s.MaxProcs = j.AllocProcs
+		}
+		if j.RunTime < s.MinRunTime {
+			s.MinRunTime = j.RunTime
+		}
+		if j.RunTime > s.MaxRunTime {
+			s.MaxRunTime = j.RunTime
+		}
+		if j.SubmitTime < minSubmit {
+			minSubmit = j.SubmitTime
+		}
+		if j.SubmitTime > maxSubmit {
+			maxSubmit = j.SubmitTime
+		}
+		if j.Completed() {
+			s.CompletedJobs++
+			if j.RunTime >= largeRunTime {
+				s.LargeCompleted++
+			}
+		}
+	}
+	s.SpanSeconds = maxSubmit - minSubmit
+	if s.CompletedJobs > 0 {
+		s.LargeFraction = float64(s.LargeCompleted) / float64(s.CompletedJobs)
+	}
+	return s
+}
+
+// String renders the stats in the style of the paper's Section IV-A.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"jobs=%d completed=%d large(≥%.0fs)=%d (%.1f%% of completed) procs=[%d,%d] runtime=[%.0f,%.0f]s span=%ds",
+		s.TotalJobs, s.CompletedJobs, s.LargeRunTime, s.LargeCompleted, 100*s.LargeFraction,
+		s.MinProcs, s.MaxProcs, s.MinRunTime, s.MaxRunTime, s.SpanSeconds)
+}
+
+// ProcsHistogram returns the distinct AllocProcs values of the selected
+// jobs and their counts, ascending by processor count. The harness uses it
+// to verify that the program sizes needed by the experiments exist.
+func ProcsHistogram(jobs []Job) (procs []int, counts []int) {
+	m := map[int]int{}
+	for i := range jobs {
+		m[jobs[i].AllocProcs]++
+	}
+	for p := range m {
+		procs = append(procs, p)
+	}
+	sort.Ints(procs)
+	counts = make([]int, len(procs))
+	for i, p := range procs {
+		counts[i] = m[p]
+	}
+	return procs, counts
+}

@@ -1,0 +1,47 @@
+package swf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse exercises the SWF parser with arbitrary input: it must never
+// panic, and on accepted input the write→parse round trip must be stable.
+// `go test` runs the seed corpus below; `go test -fuzz FuzzParse` explores
+// further.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"; header only\n",
+		"1 0 0 1 1 1 0 1 1 -1 1 1 1 1 1 1 -1 -1\n",
+		"1 0 0 3600.5 64 3000 1024 64 7200 -1 1 3 1 5 1 1 -1 -1\n; trailing header\n",
+		"not a job line\n",
+		"1 2 3\n",
+		"1 0 0 1 1 1 0 1 1 -1 9 1 1 1 1 1 -1 -1\n", // bad status
+		strings.Repeat("x ", 18) + "\n",
+		"\x00\x01\x02",
+		"1 0 0 1e309 1 1 0 1 1 -1 1 1 1 1 1 1 -1 -1\n", // float overflow
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Accepted input must round-trip exactly.
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatalf("write failed on accepted trace: %v", err)
+		}
+		tr2, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("round trip re-parse failed: %v", err)
+		}
+		if len(tr2.Jobs) != len(tr.Jobs) {
+			t.Fatalf("round trip changed job count: %d vs %d", len(tr2.Jobs), len(tr.Jobs))
+		}
+	})
+}

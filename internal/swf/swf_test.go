@@ -1,0 +1,214 @@
+package swf
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"gridvo/internal/xrand"
+)
+
+const sampleTrace = `; Version: 2.2
+; Computer: test
+1 0 10 3600 64 3500.5 1024 64 7200 -1 1 3 1 5 1 1 -1 -1
+2 100 -1 7300.25 256 7000 2048 256 14400 -1 1 4 1 6 1 1 -1 -1
+3 200 5 100 8 90 512 8 600 -1 0 5 1 7 1 1 -1 -1
+4 300 5 0 8 0 512 8 600 -1 5 5 1 7 1 1 -1 -1
+`
+
+func parseSample(t *testing.T) *Trace {
+	t.Helper()
+	tr, err := Parse(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestParseBasic(t *testing.T) {
+	tr := parseSample(t)
+	if len(tr.Header) != 2 {
+		t.Fatalf("header lines = %d, want 2", len(tr.Header))
+	}
+	if tr.Header[0] != "Version: 2.2" {
+		t.Fatalf("header[0] = %q", tr.Header[0])
+	}
+	if len(tr.Jobs) != 4 {
+		t.Fatalf("jobs = %d, want 4", len(tr.Jobs))
+	}
+	j := tr.Jobs[1]
+	if j.JobNumber != 2 || j.RunTime != 7300.25 || j.AllocProcs != 256 ||
+		j.AvgCPUTime != 7000 || j.Status != StatusCompleted {
+		t.Fatalf("job 2 mis-parsed: %+v", j)
+	}
+	if tr.Jobs[1].WaitTime != -1 {
+		t.Fatal("-1 sentinel lost")
+	}
+}
+
+func TestParseSkipsBlankLines(t *testing.T) {
+	tr, err := Parse(strings.NewReader("\n; h\n\n1 0 0 1 1 1 0 1 1 -1 1 1 1 1 1 1 -1 -1\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 1 {
+		t.Fatalf("jobs = %d, want 1", len(tr.Jobs))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, line string
+	}{
+		{"too few fields", "1 2 3"},
+		{"too many fields", "1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19"},
+		{"non-numeric", "x 0 0 1 1 1 0 1 1 -1 1 1 1 1 1 1 -1 -1"},
+		{"bad float", "1 0 0 abc 1 1 0 1 1 -1 1 1 1 1 1 1 -1 -1"},
+		{"status out of range", "1 0 0 1 1 1 0 1 1 -1 9 1 1 1 1 1 -1 -1"},
+	}
+	for _, c := range cases {
+		_, err := Parse(strings.NewReader(c.line + "\n"))
+		if err == nil {
+			t.Fatalf("%s: accepted", c.name)
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Fatalf("%s: error is %T, want *ParseError", c.name, err)
+		}
+		if pe.Line != 1 {
+			t.Fatalf("%s: line = %d, want 1", c.name, pe.Line)
+		}
+	}
+}
+
+func TestParseErrorMessageTruncates(t *testing.T) {
+	long := strings.Repeat("9 ", 200)
+	_, err := Parse(strings.NewReader(long + "\n"))
+	if err == nil {
+		t.Fatal("accepted")
+	}
+	if len(err.Error()) > 250 {
+		t.Fatalf("error message too long: %d bytes", len(err.Error()))
+	}
+}
+
+func TestCompleted(t *testing.T) {
+	cases := []struct {
+		status int
+		want   bool
+	}{
+		{StatusCompleted, true},
+		{StatusLastPartial, true},
+		{StatusFailed, false},
+		{StatusCancelled, false},
+		{StatusPartialExecuted, false},
+		{StatusPartialFailed, false},
+	}
+	for _, c := range cases {
+		j := Job{Status: c.status}
+		if j.Completed() != c.want {
+			t.Fatalf("Completed() with status %d = %v, want %v", c.status, j.Completed(), c.want)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	orig := parseSample(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Jobs) != len(orig.Jobs) || len(got.Header) != len(orig.Header) {
+		t.Fatal("round trip changed counts")
+	}
+	for i := range orig.Jobs {
+		if got.Jobs[i] != orig.Jobs[i] {
+			t.Fatalf("job %d round trip mismatch:\n got %+v\nwant %+v", i, got.Jobs[i], orig.Jobs[i])
+		}
+	}
+}
+
+func TestGeneratedTraceRoundTrip(t *testing.T) {
+	tr := GenerateAtlas(xrand.New(1), GenOptions{NumJobs: 500})
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Jobs) != len(tr.Jobs) {
+		t.Fatalf("round trip lost jobs: %d vs %d", len(got.Jobs), len(tr.Jobs))
+	}
+	for i := range tr.Jobs {
+		if got.Jobs[i] != tr.Jobs[i] {
+			t.Fatalf("job %d mismatch:\n got %+v\nwant %+v", i, got.Jobs[i], tr.Jobs[i])
+		}
+	}
+}
+
+func TestSelectAndFilters(t *testing.T) {
+	tr := parseSample(t)
+	completed := tr.Select(CompletedOnly())
+	if len(completed) != 2 {
+		t.Fatalf("completed = %d, want 2", len(completed))
+	}
+	large := tr.Select(And(CompletedOnly(), MinRunTime(7200)))
+	if len(large) != 1 || large[0].JobNumber != 2 {
+		t.Fatalf("large = %v", large)
+	}
+	if got := tr.Select(ExactProcs(8)); len(got) != 2 {
+		t.Fatalf("ExactProcs(8) = %d, want 2", len(got))
+	}
+	if got := tr.Select(MinProcs(64)); len(got) != 2 {
+		t.Fatalf("MinProcs(64) = %d, want 2", len(got))
+	}
+	valid := tr.Select(ValidForSimulation())
+	if len(valid) != 3 { // job 4 has zero runtime/CPU
+		t.Fatalf("valid = %d, want 3", len(valid))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := parseSample(t)
+	s := tr.Summarize(7200)
+	if s.TotalJobs != 4 || s.CompletedJobs != 2 || s.LargeCompleted != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.LargeFraction != 0.5 {
+		t.Fatalf("LargeFraction = %v, want 0.5", s.LargeFraction)
+	}
+	if s.MinProcs != 8 || s.MaxProcs != 256 {
+		t.Fatalf("procs = [%d,%d]", s.MinProcs, s.MaxProcs)
+	}
+	if s.SpanSeconds != 300 {
+		t.Fatalf("span = %d", s.SpanSeconds)
+	}
+	if !strings.Contains(s.String(), "jobs=4") {
+		t.Fatalf("String() = %q", s.String())
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := (&Trace{}).Summarize(7200)
+	if s.TotalJobs != 0 || s.LargeFraction != 0 {
+		t.Fatalf("empty stats = %+v", s)
+	}
+}
+
+func TestProcsHistogram(t *testing.T) {
+	tr := parseSample(t)
+	procs, counts := ProcsHistogram(tr.Jobs)
+	if len(procs) != 3 || procs[0] != 8 || procs[1] != 64 || procs[2] != 256 {
+		t.Fatalf("procs = %v", procs)
+	}
+	if counts[0] != 2 || counts[1] != 1 || counts[2] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}

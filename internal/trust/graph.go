@@ -1,0 +1,324 @@
+// Package trust models the trust relationships among Grid Service Providers
+// (GSPs) as a weighted directed graph, exactly as Section II-B of the paper:
+// the weight u_ij of edge (i,j) is the direct trust G_i places in G_j, based
+// on their past interactions; u_ij = 0 means complete distrust (no edge).
+//
+// The package provides:
+//
+//   - Graph: the weighted digraph with node eviction (the operation TVOF
+//     performs every iteration) and induced subgraphs;
+//   - row normalization (eq. 1) producing the matrix A of normalized trust
+//     values consumed by the reputation power method;
+//   - an Erdős–Rényi G(m,p) random generator matching the experimental
+//     setup of Section IV-A;
+//   - History, an interaction recorder that turns observed deliver/fail
+//     outcomes into direct-trust weights, giving the "past interactions"
+//     story of the paper an executable form;
+//   - JSON and Graphviz DOT serialization.
+package trust
+
+import (
+	"fmt"
+	"sort"
+
+	"gridvo/internal/matrix"
+	"gridvo/internal/xrand"
+)
+
+// Graph is a weighted directed trust graph over n GSPs, identified by dense
+// indices 0..n-1. Weights are non-negative; a zero weight is "no edge"
+// (complete distrust). Graph is not safe for concurrent mutation.
+type Graph struct {
+	n      int
+	w      *matrix.Dense // w.At(i,j) == u_ij
+	labels []string      // optional display names, len n when present
+}
+
+// NewGraph returns an edgeless trust graph over n GSPs. It panics if n < 0.
+func NewGraph(n int) *Graph {
+	if n < 0 {
+		panic("trust: NewGraph with negative n")
+	}
+	return &Graph{n: n, w: matrix.NewDense(n, n)}
+}
+
+// FromMatrix builds a graph from a square weight matrix; entry (i,j) is
+// u_ij. Negative weights and a non-square matrix are rejected with an error
+// because they typically indicate corrupted input files.
+func FromMatrix(w *matrix.Dense) (*Graph, error) {
+	if w.Rows() != w.Cols() {
+		return nil, fmt.Errorf("trust: weight matrix is %dx%d, want square", w.Rows(), w.Cols())
+	}
+	for i := 0; i < w.Rows(); i++ {
+		for j := 0; j < w.Cols(); j++ {
+			if w.At(i, j) < 0 {
+				return nil, fmt.Errorf("trust: negative weight %v at (%d,%d)", w.At(i, j), i, j)
+			}
+		}
+	}
+	return &Graph{n: w.Rows(), w: w.Clone()}, nil
+}
+
+// N returns the number of GSPs in the graph.
+func (g *Graph) N() int { return g.n }
+
+// SetTrust sets the direct trust u_ij that GSP i assigns to GSP j. Trust is
+// asymmetric; setting (i,j) says nothing about (j,i). Self-trust (i == i)
+// is allowed but conventionally zero. It panics on a negative weight, which
+// has no meaning in the model.
+func (g *Graph) SetTrust(i, j int, u float64) {
+	if u < 0 {
+		panic(fmt.Sprintf("trust: negative trust %v", u))
+	}
+	g.w.Set(i, j, u)
+}
+
+// Trust returns the direct trust u_ij (0 when there is no edge).
+func (g *Graph) Trust(i, j int) float64 { return g.w.At(i, j) }
+
+// HasEdge reports whether i assigns any positive trust to j.
+func (g *Graph) HasEdge(i, j int) bool { return g.w.At(i, j) > 0 }
+
+// Neighbors returns N_i = {j : (i,j) ∈ E}, the GSPs that i has direct trust
+// edges to, in ascending index order.
+func (g *Graph) Neighbors(i int) []int {
+	var out []int
+	for j := 0; j < g.n; j++ {
+		if g.w.At(i, j) > 0 {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// InNeighbors returns the GSPs that have a direct trust edge to j.
+func (g *Graph) InNeighbors(j int) []int {
+	var out []int
+	for i := 0; i < g.n; i++ {
+		if g.w.At(i, j) > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// NumEdges returns the number of positive-weight edges.
+func (g *Graph) NumEdges() int {
+	c := 0
+	for i := 0; i < g.n; i++ {
+		for j := 0; j < g.n; j++ {
+			if g.w.At(i, j) > 0 {
+				c++
+			}
+		}
+	}
+	return c
+}
+
+// OutDegree returns |N_i|.
+func (g *Graph) OutDegree(i int) int { return len(g.Neighbors(i)) }
+
+// SetLabels attaches display names to the GSPs. It panics unless exactly n
+// labels are provided.
+func (g *Graph) SetLabels(labels []string) {
+	if len(labels) != g.n {
+		panic(fmt.Sprintf("trust: %d labels for %d nodes", len(labels), g.n))
+	}
+	g.labels = append([]string(nil), labels...)
+}
+
+// Label returns the display name of GSP i (falling back to "G<i>").
+func (g *Graph) Label(i int) string {
+	if g.labels != nil {
+		return g.labels[i]
+	}
+	return fmt.Sprintf("G%d", i)
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{n: g.n, w: g.w.Clone()}
+	if g.labels != nil {
+		c.labels = append([]string(nil), g.labels...)
+	}
+	return c
+}
+
+// WeightMatrix returns a copy of the raw trust weight matrix (u values,
+// not normalized).
+func (g *Graph) WeightMatrix() *matrix.Dense { return g.w.Clone() }
+
+// NormalizeOptions control how eq. (1) handles GSPs with no outgoing trust
+// (Σ_k u_ik = 0), for which the normalized row is undefined.
+type NormalizeOptions struct {
+	// DanglingUniform, when true (the default used by the mechanism),
+	// replaces an all-zero row with the uniform distribution over all
+	// members, the standard stochastic-matrix completion. When false the
+	// row stays zero and the matrix is substochastic; the reputation power
+	// method compensates by renormalizing its iterate.
+	DanglingUniform bool
+}
+
+// Normalized returns the matrix A of normalized trust values a_ij (eq. 1):
+// each row is divided by its sum. The second return lists the GSPs that had
+// no outgoing trust at all and were patched per opts.
+func (g *Graph) Normalized(opts NormalizeOptions) (*matrix.Dense, []int) {
+	a := g.w.Clone()
+	dangling := a.NormalizeRows(opts.DanglingUniform)
+	return a, dangling
+}
+
+// Subgraph returns the trust graph induced by keep: node k of the result is
+// keep[k] of the original, with all edges among kept members preserved and
+// every edge touching an evicted member dropped — exactly the graph update
+// TVOF performs when removing a GSP ("removing not only G, but also all
+// edges with direct trust to G"). It panics if keep contains duplicates or
+// out-of-range indices.
+func (g *Graph) Subgraph(keep []int) *Graph {
+	sub := &Graph{n: len(keep), w: g.w.Submatrix(keep)}
+	if g.labels != nil {
+		sub.labels = make([]string, len(keep))
+		for k, orig := range keep {
+			sub.labels[k] = g.labels[orig]
+		}
+	}
+	return sub
+}
+
+// Without returns the subgraph with node i removed, plus the mapping from
+// new indices to the original ones. It panics if i is out of range.
+func (g *Graph) Without(i int) (*Graph, []int) {
+	if i < 0 || i >= g.n {
+		panic(fmt.Sprintf("trust: Without(%d) out of range [0,%d)", i, g.n))
+	}
+	keep := make([]int, 0, g.n-1)
+	for j := 0; j < g.n; j++ {
+		if j != i {
+			keep = append(keep, j)
+		}
+	}
+	return g.Subgraph(keep), keep
+}
+
+// Edges returns all positive-weight edges sorted by (from, to); useful for
+// serialization and deterministic iteration.
+type Edge struct {
+	From, To int
+	Weight   float64
+}
+
+// Edges returns the edge list in (from, to) order.
+func (g *Graph) Edges() []Edge {
+	var out []Edge
+	for i := 0; i < g.n; i++ {
+		for j := 0; j < g.n; j++ {
+			if w := g.w.At(i, j); w > 0 {
+				out = append(out, Edge{From: i, To: j, Weight: w})
+			}
+		}
+	}
+	return out
+}
+
+// StronglyConnected reports whether every node can reach every other node
+// along positive-trust edges; reputations on graphs that are not strongly
+// connected may concentrate all mass on a closed subset, which the
+// diagnostics of the reputation package surface.
+func (g *Graph) StronglyConnected() bool {
+	if g.n == 0 {
+		return true
+	}
+	reach := func(transpose bool) int {
+		seen := make([]bool, g.n)
+		stack := []int{0}
+		seen[0] = true
+		count := 1
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for v := 0; v < g.n; v++ {
+				var w float64
+				if transpose {
+					w = g.w.At(v, u)
+				} else {
+					w = g.w.At(u, v)
+				}
+				if w > 0 && !seen[v] {
+					seen[v] = true
+					count++
+					stack = append(stack, v)
+				}
+			}
+		}
+		return count
+	}
+	return reach(false) == g.n && reach(true) == g.n
+}
+
+// ErdosRenyi generates a random trust graph with m GSPs where each ordered
+// pair (i,j), i != j, receives an edge independently with probability p;
+// edge weights are uniform in (0, 1]. This is the G(m, p) model the paper
+// uses with m = 16 and p = 0.1 (Section IV-A).
+func ErdosRenyi(rng *xrand.RNG, m int, p float64) *Graph {
+	if m < 0 {
+		panic("trust: ErdosRenyi with negative m")
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("trust: ErdosRenyi with p=%v outside [0,1]", p))
+	}
+	g := NewGraph(m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if i == j {
+				continue
+			}
+			if rng.Bool(p) {
+				// (0,1]: avoid a zero weight, which would mean "no edge".
+				g.SetTrust(i, j, 1-rng.Float64())
+			}
+		}
+	}
+	return g
+}
+
+// EnsureEveryNodeTrusted adds, for any node with no incoming trust, a
+// single random incoming edge. Experiments that require every GSP to be
+// evaluable (so the reputation vector has no structurally forced zeros) use
+// this as a post-processing step; it is NOT part of the paper's setup and
+// is off by default in the harness.
+func EnsureEveryNodeTrusted(rng *xrand.RNG, g *Graph) {
+	if g.n < 2 {
+		return
+	}
+	for j := 0; j < g.n; j++ {
+		if len(g.InNeighbors(j)) > 0 {
+			continue
+		}
+		i := rng.IntN(g.n - 1)
+		if i >= j {
+			i++
+		}
+		g.SetTrust(i, j, 1-rng.Float64())
+	}
+}
+
+// Density returns the fraction of possible directed edges present.
+func (g *Graph) Density() float64 {
+	if g.n < 2 {
+		return 0
+	}
+	return float64(g.NumEdges()) / float64(g.n*(g.n-1))
+}
+
+// String summarizes the graph for debugging.
+func (g *Graph) String() string {
+	edges := g.Edges()
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].From != edges[b].From {
+			return edges[a].From < edges[b].From
+		}
+		return edges[a].To < edges[b].To
+	})
+	s := fmt.Sprintf("trust.Graph{n=%d, edges=%d", g.n, len(edges))
+	return s + "}"
+}

@@ -1,0 +1,122 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func basicChart() *Chart {
+	return &Chart{
+		Title:  "Fig. X",
+		XLabel: "tasks",
+		YLabel: "payoff",
+		X:      []float64{256, 512, 1024},
+		Series: []Series{
+			{Name: "tvof", Y: []float64{10, 20, 30}},
+			{Name: "rvof", Y: []float64{12, 18, 31}},
+		},
+	}
+}
+
+func TestRenderContainsStructure(t *testing.T) {
+	out := basicChart().Render()
+	for _, want := range []string{"Fig. X", "legend:", "o=tvof", "x=rvof", "256", "1024", "tasks", "payoff"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "o") || !strings.Contains(out, "x") {
+		t.Fatal("no markers plotted")
+	}
+}
+
+func TestRenderDimensions(t *testing.T) {
+	c := basicChart()
+	c.Width, c.Height = 40, 8
+	out := c.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 8 plot rows + axis + xticks + labels + legend = 13.
+	if len(lines) != 13 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Plot rows all equal width.
+	plotLines := lines[1:9]
+	for _, ln := range plotLines {
+		if len([]rune(ln)) != 10+2+40 {
+			t.Fatalf("row width %d: %q", len([]rune(ln)), ln)
+		}
+	}
+}
+
+func TestRenderLogX(t *testing.T) {
+	c := basicChart()
+	c.LogX = true
+	out := c.Render()
+	if strings.Contains(out, "(chart") {
+		t.Fatalf("log-x render failed:\n%s", out)
+	}
+	c.X[0] = 0
+	if !strings.Contains(c.Render(), "non-positive") {
+		t.Fatal("log-x with zero x not reported")
+	}
+}
+
+func TestRenderDegenerateInputs(t *testing.T) {
+	empty := &Chart{}
+	if !strings.Contains(empty.Render(), "empty chart") {
+		t.Fatal("empty chart not reported")
+	}
+	mismatch := basicChart()
+	mismatch.Series[0].Y = []float64{1}
+	if !strings.Contains(mismatch.Render(), "points for") {
+		t.Fatal("ragged series not reported")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	c := &Chart{
+		X:      []float64{1, 2},
+		Series: []Series{{Name: "flat", Y: []float64{5, 5}}},
+	}
+	out := c.Render()
+	if !strings.Contains(out, "o") {
+		t.Fatalf("constant series not plotted:\n%s", out)
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	c := &Chart{
+		X:      []float64{42},
+		Series: []Series{{Name: "pt", Y: []float64{1}}},
+	}
+	if !strings.Contains(c.Render(), "o") {
+		t.Fatal("single point not plotted")
+	}
+}
+
+func TestManySeriesMarkersCycle(t *testing.T) {
+	c := &Chart{X: []float64{1, 2}}
+	for i := 0; i < 8; i++ {
+		c.Series = append(c.Series, Series{Name: string(rune('a' + i)), Y: []float64{float64(i), float64(i + 1)}})
+	}
+	out := c.Render()
+	if !strings.Contains(out, "#") || !strings.Contains(out, "@") {
+		t.Fatalf("extended markers missing:\n%s", out)
+	}
+}
+
+func TestTrimNum(t *testing.T) {
+	cases := map[float64]string{
+		12345.6: "1.23e+04",
+		42.5:    "42.5",
+		42.0:    "42",
+		0.125:   "0.125",
+		0.001:   "0.001",
+		0:       "0",
+	}
+	for v, want := range cases {
+		if got := trimNum(v); got != want {
+			t.Fatalf("trimNum(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

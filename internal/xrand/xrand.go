@@ -1,0 +1,282 @@
+// Package xrand provides a deterministic, splittable pseudo-random number
+// generator used by every stochastic component of gridvo.
+//
+// Reproducibility is a hard requirement for the simulation harness: a whole
+// experiment (trust graph, cost matrices, workloads, tie-breaking inside the
+// mechanisms) must be replayable from a single root seed. The standard
+// library generators are deterministic too, but sharing one generator across
+// components couples their consumption order: adding a single extra draw in
+// one module would silently reshuffle every downstream module. xrand solves
+// this with labeled splits — each component derives an independent stream
+// from (parent seed, label), so streams are stable under code evolution.
+//
+// The core generator is SplitMix64 (Steele, Lea, Flood; JPDC 2014 / the
+// java.util.SplittableRandom construction), a 64-bit mix function with
+// guaranteed period 2^64 per stream and excellent statistical quality for
+// simulation workloads. It is not cryptographically secure and must never be
+// used for security purposes.
+package xrand
+
+import (
+	"math"
+	"math/bits"
+)
+
+// goldenGamma is the odd constant 2^64/φ used by SplitMix64 to advance the
+// internal state; using the golden ratio guarantees a full-period Weyl
+// sequence with well-distributed low-order bits.
+const goldenGamma = 0x9E3779B97F4A7C15
+
+// RNG is a deterministic pseudo-random stream. The zero value is NOT ready
+// for use; construct streams with New or by splitting an existing stream.
+//
+// RNG is not safe for concurrent use. Concurrent components must each own a
+// stream obtained via Split, which is both faster and reproducible
+// regardless of scheduling.
+type RNG struct {
+	state uint64
+}
+
+// New returns a stream seeded from seed. Two streams created with the same
+// seed produce identical sequences.
+func New(seed uint64) *RNG {
+	return &RNG{state: mix(seed)}
+}
+
+// mix is the SplitMix64 finalizer: a bijective avalanche function on 64-bit
+// words (variant 13 of Stafford's mixers, the one used by SplittableRandom).
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += goldenGamma
+	return mix(r.state)
+}
+
+// Split derives an independent child stream from this stream and a textual
+// label. Splitting consumes no randomness from the parent: the child seed is
+// a hash of the parent's current state and the label, so the set of child
+// streams a component receives is insensitive to how many values other
+// components have drawn.
+func (r *RNG) Split(label string) *RNG {
+	h := r.state ^ 0x632BE59BD9B4E019
+	for i := 0; i < len(label); i++ {
+		h = (h ^ uint64(label[i])) * 0x100000001B3
+		h = bits.RotateLeft64(h, 17)
+	}
+	return &RNG{state: mix(h)}
+}
+
+// SplitN derives the i-th of a family of independent child streams. It is
+// the indexed analogue of Split, used when a component needs one stream per
+// repetition or per entity.
+func (r *RNG) SplitN(label string, i int) *RNG {
+	child := r.Split(label)
+	child.state = mix(child.state ^ (uint64(i)+1)*goldenGamma)
+	return child
+}
+
+// Int63 returns a non-negative 63-bit pseudo-random integer.
+func (r *RNG) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// IntN returns a uniform integer in [0, n). It panics if n <= 0.
+//
+// The implementation uses Lemire's multiply-shift rejection method, which is
+// unbiased and needs no divisions in the common case.
+func (r *RNG) IntN(n int) int {
+	if n <= 0 {
+		panic("xrand: IntN called with n <= 0")
+	}
+	return int(r.Uint64N(uint64(n)))
+}
+
+// Uint64N returns a uniform uint64 in [0, n). It panics if n == 0.
+func (r *RNG) Uint64N(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64N called with n == 0")
+	}
+	// Lemire's method: hi part of a 128-bit product is uniform in [0,n)
+	// after rejecting the small biased region of the low part.
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Uniform returns a uniform float64 in [lo, hi). It panics if hi < lo.
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	if hi < lo {
+		panic("xrand: Uniform called with hi < lo")
+	}
+	return lo + (hi-lo)*r.Float64()
+}
+
+// UniformInt returns a uniform integer in [lo, hi] inclusive. It panics if
+// hi < lo.
+func (r *RNG) UniformInt(lo, hi int) int {
+	if hi < lo {
+		panic("xrand: UniformInt called with hi < lo")
+	}
+	return lo + r.IntN(hi-lo+1)
+}
+
+// Bool returns true with probability p (clamped to [0,1]).
+func (r *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Normal returns a normally distributed float64 with the given mean and
+// standard deviation, generated by the Marsaglia polar method.
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return mean + stddev*u*math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// BoundedNormal returns Normal(mean, stddev) resampled until it falls inside
+// [lo, hi]. It panics if hi < lo. Resampling (rather than clamping) keeps
+// the distribution smooth near the bounds.
+func (r *RNG) BoundedNormal(mean, stddev, lo, hi float64) float64 {
+	if hi < lo {
+		panic("xrand: BoundedNormal called with hi < lo")
+	}
+	if stddev <= 0 {
+		return math.Min(hi, math.Max(lo, mean))
+	}
+	for i := 0; i < 1024; i++ {
+		x := r.Normal(mean, stddev)
+		if x >= lo && x <= hi {
+			return x
+		}
+	}
+	// Pathological parameters (bounds many sigmas from the mean): fall back
+	// to uniform so callers still make progress.
+	return r.Uniform(lo, hi)
+}
+
+// LogUniform returns a float64 log-uniformly distributed in [lo, hi]; both
+// bounds must be positive. Log-uniform sampling matches the heavy-tailed
+// shape of job runtimes and sizes in parallel workload traces.
+func (r *RNG) LogUniform(lo, hi float64) float64 {
+	if lo <= 0 || hi < lo {
+		panic("xrand: LogUniform requires 0 < lo <= hi")
+	}
+	return math.Exp(r.Uniform(math.Log(lo), math.Log(hi)))
+}
+
+// Exponential returns an exponentially distributed float64 with the given
+// mean (= 1/rate). Used for inter-arrival times in the trace generator.
+func (r *RNG) Exponential(mean float64) float64 {
+	if mean <= 0 {
+		panic("xrand: Exponential requires mean > 0")
+	}
+	// 1-Float64() is in (0,1], so Log never sees 0.
+	return -mean * math.Log(1-r.Float64())
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.ShuffleInts(p)
+	return p
+}
+
+// ShuffleInts permutes s in place (Fisher–Yates).
+func (r *RNG) ShuffleInts(s []int) {
+	for i := len(s) - 1; i > 0; i-- {
+		j := r.IntN(i + 1)
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// Shuffle permutes n elements in place using the provided swap function,
+// mirroring math/rand.Shuffle.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.IntN(i + 1)
+		swap(i, j)
+	}
+}
+
+// Pick returns a uniformly chosen element index of a slice of length n,
+// or -1 when n == 0.
+func (r *RNG) Pick(n int) int {
+	if n == 0 {
+		return -1
+	}
+	return r.IntN(n)
+}
+
+// Zipf returns integers in [1, n] following a Zipf distribution with
+// exponent s > 1 is not required; any s > 0 works. Sampling is by inverse
+// transform over the precomputed CDF held in the returned Zipf object.
+type Zipf struct {
+	cdf []float64
+	rng *RNG
+}
+
+// NewZipf builds a Zipf sampler over [1, n] with exponent s. It panics if
+// n <= 0 or s < 0.
+func NewZipf(rng *RNG, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf requires n > 0")
+	}
+	if s < 0 {
+		panic("xrand: NewZipf requires s >= 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 1; k <= n; k++ {
+		sum += 1 / math.Pow(float64(k), s)
+		cdf[k-1] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// Next returns the next Zipf-distributed value in [1, len(cdf)].
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	// Binary search for the first CDF entry >= u.
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}
