@@ -22,11 +22,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"gridvo/internal/assign"
 	"gridvo/internal/grid"
@@ -67,9 +70,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 		sample  = fs.Bool("sample", false, "print a sample scenario and exit")
 		stable  = fs.Bool("check-stability", true, "run the Definition-1 stability check")
 		nodeCap = fs.Int64("nodes", 0, "branch-and-bound node budget (0 = default)")
+		timeout = fs.Duration("timeout", 0, "wall-clock budget; on expiry solves degrade to heuristic incumbents (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Ctrl-C (or -timeout expiry) cancels the solver context: the run
+	// completes with the best incumbents found so far instead of dying.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	if *sample {
@@ -100,7 +114,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	default:
 		return fmt.Errorf("unknown rule %q", *rule)
 	}
-	res, err := mechanism.Run(sc, opts, xrand.New(*seed))
+	res, err := mechanism.RunContext(ctx, sc, opts, xrand.New(*seed))
 	if err != nil {
 		return err
 	}
@@ -138,8 +152,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stdout, "  total cost:            %.2f (payment %.2f)\n", final.Cost, sc.Payment)
 	fmt.Fprintf(stdout, "  avg global reputation: %.4f\n", final.AvgReputation)
 	fmt.Fprintf(stdout, "  formation time:        %s\n", res.Duration)
+	fmt.Fprintf(stdout, "  solver engine:         %s\n", res.Stats)
+	if ctx.Err() != nil {
+		fmt.Fprintln(stdout, "  note: time budget expired; result uses best incumbents found in time")
+	}
 	if *stable {
-		ok, destabilizer, err := mechanism.StabilityCheck(sc, res, opts, mechanism.CriterionTotal)
+		ok, destabilizer, err := mechanism.StabilityCheckContext(ctx, sc, res, opts, mechanism.CriterionTotal)
 		if err != nil {
 			return err
 		}

@@ -17,13 +17,16 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"gridvo/internal/mechanism"
 	"gridvo/internal/sim"
@@ -64,9 +67,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 		ablate  = fs.Bool("ablation", false, "run the eviction-rule ablation instead of a figure")
 		evol    = fs.Bool("evolution", false, "run the trust-evolution extension (TVOF vs RVOF, with and without decay)")
 		rounds  = fs.Int("rounds", 8, "trust-evolution rounds (with -evolution)")
+		timeout = fs.Duration("timeout", 0, "wall-clock budget for the sweep; on expiry solves degrade to heuristic incumbents (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Ctrl-C (or -timeout expiry) cancels the solver context: in-flight
+	// IP solves fall back to their heuristic incumbents and the sweep
+	// completes with whatever optimality was reached in time.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	cfg := sim.DefaultConfig(*seed)
@@ -179,13 +194,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 	var sweep *sim.SweepResult
 	if figs[1] || figs[2] || figs[3] || figs[9] {
 		if *par == 1 {
-			sweep, err = env.Sweep(progress)
+			sweep, err = env.SweepContext(ctx, progress)
 		} else {
-			sweep, err = env.SweepParallel(*par, progress)
+			sweep, err = env.SweepParallelContext(ctx, *par, progress)
 		}
 		if err != nil {
 			return err
 		}
+		fmt.Fprintf(stdout, "solver engine: %s\n", sweep.Stats)
+		if ctx.Err() != nil {
+			fmt.Fprintln(stdout, "note: time budget expired; results use best incumbents found in time")
+		}
+		fmt.Fprintln(stdout)
 	}
 	traceSize := traceProgramSize(cfg)
 	runTrace := func(tag string, rule mechanism.EvictionRule, figure string) error {

@@ -19,6 +19,7 @@
 package gridvo
 
 import (
+	"context"
 	"fmt"
 
 	"gridvo/internal/mechanism"
@@ -47,6 +48,14 @@ type Result = mechanism.Result
 
 // IterationRecord is one iteration of the mechanism loop.
 type IterationRecord = mechanism.IterationRecord
+
+// EngineStats summarizes solver-engine activity for a run or sweep: fresh
+// IP solves, cache hits (solves avoided), branch-and-bound nodes, solver
+// wall time. Result.Stats carries the per-run values.
+type EngineStats = mechanism.EngineStats
+
+// SweepResult is the size × repetition grid produced by Experiment.Sweep.
+type SweepResult = sim.SweepResult
 
 // Experiment wraps the experiment harness with the paper's Table I setup.
 type Experiment struct {
@@ -86,15 +95,38 @@ func (e *Experiment) Scenario(size, rep int) (*Scenario, error) {
 	return sc, err
 }
 
+// Sweep runs TVOF and RVOF over every (program size, repetition) pair of
+// the experiment's config, honoring ctx: on cancellation or deadline
+// expiry the per-coalition solves degrade to heuristic incumbents and the
+// sweep still returns a complete grid. workers > 1 (or 0 for GOMAXPROCS)
+// fans the cells out over a pool with bit-identical results; progress, when
+// non-nil, receives a line per completed run (from worker goroutines when
+// parallel).
+func (e *Experiment) Sweep(ctx context.Context, workers int, progress func(string)) (*SweepResult, error) {
+	if workers == 1 {
+		return e.env.SweepContext(ctx, progress)
+	}
+	return e.env.SweepParallelContext(ctx, workers, progress)
+}
+
 // FormVO runs the selected mechanism on a scenario; the seed drives
-// tie-breaking (TVOF) or eviction choice (RVOF).
+// tie-breaking (TVOF) or eviction choice (RVOF). It is FormVOContext with
+// a background context.
 func FormVO(sc *Scenario, rule Rule, seed uint64) (*Result, error) {
+	return FormVOContext(context.Background(), sc, rule, seed)
+}
+
+// FormVOContext is FormVO honoring ctx. The mechanism always completes:
+// once ctx is cancelled or past its deadline, each remaining coalition
+// solve returns its best heuristic incumbent instead of searching, so the
+// caller gets a usable — possibly sub-optimal — VO rather than an error.
+func FormVOContext(ctx context.Context, sc *Scenario, rule Rule, seed uint64) (*Result, error) {
 	rng := xrand.New(seed)
 	switch rule {
 	case TVOF:
-		return mechanism.TVOF(sc, rng)
+		return mechanism.TVOFContext(ctx, sc, rng)
 	case RVOF:
-		return mechanism.RVOF(sc, rng)
+		return mechanism.RVOFContext(ctx, sc, rng)
 	default:
 		return nil, fmt.Errorf("gridvo: unknown rule %d", int(rule))
 	}

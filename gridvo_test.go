@@ -1,6 +1,10 @@
 package gridvo
 
-import "testing"
+import (
+	"context"
+	"testing"
+	"time"
+)
 
 func TestQuickExperimentEndToEnd(t *testing.T) {
 	exp, err := NewQuickExperiment(1)
@@ -49,6 +53,56 @@ func TestFormVOUnknownRule(t *testing.T) {
 	}
 	if _, err := FormVO(sc, Rule(99), 1); err == nil {
 		t.Fatal("unknown rule accepted")
+	}
+}
+
+func TestFormVOContextTightDeadlineStillUsable(t *testing.T) {
+	exp, err := NewQuickExperiment(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := exp.Scenario(256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	res, err := FormVOContext(ctx, sc, TVOF, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := res.Final()
+	if final == nil {
+		t.Fatal("deadline run formed no VO (heuristic incumbents should still apply)")
+	}
+	if len(final.Assignment) != sc.N() {
+		t.Fatal("deadline run lost the final assignment")
+	}
+	if res.Stats.Evaluations() == 0 {
+		t.Fatal("run reported no engine activity")
+	}
+}
+
+func TestExperimentSweepContext(t *testing.T) {
+	exp, err := NewQuickExperiment(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := exp.Env().Config
+	sw, err := exp.Sweep(context.Background(), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Points) != len(cfg.ProgramSizes) {
+		t.Fatalf("sweep has %d points for %d sizes", len(sw.Points), len(cfg.ProgramSizes))
+	}
+	if sw.Stats.Solves == 0 {
+		t.Fatal("sweep reported no solver activity")
+	}
+	// Every RVOF run shares its scenario's engine with the TVOF run, so
+	// the shared grand-coalition solve alone guarantees cache hits.
+	if sw.Stats.CacheHits == 0 {
+		t.Fatal("sweep engines shared no solutions across rules")
 	}
 }
 

@@ -1,8 +1,10 @@
 package assign
 
 import (
+	"context"
 	"math"
 	"sort"
+	"time"
 )
 
 // Options configure Solve.
@@ -16,6 +18,10 @@ type Options struct {
 	// LocalSearchPasses bounds the improvement passes applied to
 	// heuristic incumbents; zero selects a sensible default.
 	LocalSearchPasses int
+	// CtxCheckEvery is the number of nodes explored between
+	// context-cancellation checks; zero selects DefaultCtxCheckEvery.
+	// Tests use small values to cancel at precise points.
+	CtxCheckEvery int64
 }
 
 // DefaultNodeBudget bounds the search on large instances. A node costs
@@ -24,15 +30,34 @@ type Options struct {
 // instances that dominate the mechanism's work.
 const DefaultNodeBudget = 2_000_000
 
+// DefaultCtxCheckEvery is how many nodes the search explores between
+// ctx.Err() polls: frequent enough that a deadline overshoots by well
+// under a millisecond, rare enough to stay off the hot path.
+const DefaultCtxCheckEvery = 2048
+
 // Solve finds a minimum-cost assignment for the instance using exact
 // branch-and-bound warmed by heuristic incumbents. The returned solution's
 // Optimal flag reports whether the search completed (optimality or
 // infeasibility proven); when the node budget interrupts it, the best
-// incumbent and the root lower bound are returned instead.
+// incumbent and the root lower bound are returned instead. It is SolveCtx
+// with a background context.
 func Solve(in *Instance, opts Options) Solution {
+	return SolveCtx(context.Background(), in, opts)
+}
+
+// SolveCtx is Solve honoring ctx alongside the node budget: the search
+// polls ctx.Err() every Options.CtxCheckEvery nodes and, on cancellation
+// or deadline expiry, stops and returns the best incumbent found so far
+// with Optimal == false — never an error-and-nothing. An already-cancelled
+// context skips the tree search entirely (Stats.Nodes == 0) but still
+// seeds heuristic incumbents, so callers under an expired deadline get a
+// usable (possibly sub-optimal) assignment whenever the heuristics find
+// one.
+func SolveCtx(ctx context.Context, in *Instance, opts Options) Solution {
 	if err := in.Validate(); err != nil {
 		panic(err) // programming error: instances are built by this module's callers
 	}
+	start := time.Now()
 	k, n := in.NumGSPs(), in.NumTasks()
 	sol := Solution{LowerBound: lowerBoundTotal(in)}
 
@@ -41,11 +66,13 @@ func Solve(in *Instance, opts Options) Solution {
 		sol.Feasible = n == 0
 		sol.Optimal = true
 		sol.Assign = []int{}
+		sol.Stats.WallTime = time.Since(start)
 		return sol
 	}
 	if n < k {
 		// Constraint (13) unsatisfiable: fewer tasks than GSPs.
 		sol.Optimal = true
+		sol.Stats.WallTime = time.Since(start)
 		return sol
 	}
 
@@ -54,55 +81,82 @@ func Solve(in *Instance, opts Options) Solution {
 		budget = DefaultNodeBudget
 	}
 
-	s := &searcher{
-		in:       in,
-		k:        k,
-		n:        n,
-		budget:   budget,
-		bestCost: math.Inf(1),
-		cap:      in.budgetCap(),
-		rootOnly: -1,
-	}
+	s := newSearcher(ctx, in, opts, budget, -1)
 
 	// Seed incumbents.
-	if !opts.DisableHeuristics {
-		candidates := []Heuristic{HeuristicGreedyCost, HeuristicMCT}
-		if n <= 1024 {
-			candidates = append(candidates, HeuristicMinMin, HeuristicSufferage)
-		}
-		for _, h := range candidates {
-			a := RunHeuristic(in, h)
-			if a == nil {
-				continue
-			}
-			LocalSearch(in, a, opts.LocalSearchPasses)
-			if Verify(in, a) != nil {
-				continue
-			}
-			if c := TotalCost(in, a); c < s.bestCost {
-				s.bestCost = c
-				s.bestAssign = append(s.bestAssign[:0], a...)
-			}
-		}
-	}
+	seedIncumbents(in, opts, s)
 
-	s.prepare()
-	s.dfs(0, 0)
+	if ctx.Err() != nil {
+		// Already cancelled: return the heuristic incumbent immediately.
+		s.ctxAborted, s.aborted = true, true
+		s.prunedDeadline++
+	} else {
+		s.prepare()
+		s.dfs(0, 0)
+	}
 
 	if s.bestAssign != nil {
 		sol.Feasible = true
 		sol.Cost = s.bestCost
 		sol.Assign = append([]int(nil), s.bestAssign...)
 	}
-	sol.Nodes = s.nodes
-	sol.NodeBudgetHit = s.aborted
+	s.fill(&sol)
 	sol.Optimal = !s.aborted
 	if sol.Feasible && sol.Cost <= sol.LowerBound+Eps {
 		// Incumbent meets the global lower bound: optimal regardless of
 		// whether the search was truncated.
 		sol.Optimal = true
 	}
+	sol.Stats.WallTime = time.Since(start)
 	return sol
+}
+
+// newSearcher builds the DFS state shared by the serial and root-split
+// solvers. rootOnly restricts the first branching task (-1 = full search).
+func newSearcher(ctx context.Context, in *Instance, opts Options, budget int64, rootOnly int) *searcher {
+	checkEvery := opts.CtxCheckEvery
+	if checkEvery <= 0 {
+		checkEvery = DefaultCtxCheckEvery
+	}
+	return &searcher{
+		in:           in,
+		k:            in.NumGSPs(),
+		n:            in.NumTasks(),
+		budget:       budget,
+		bestCost:     math.Inf(1),
+		cap:          in.budgetCap(),
+		rootOnly:     rootOnly,
+		ctx:          ctx,
+		checkEvery:   checkEvery,
+		ctxCountdown: checkEvery,
+	}
+}
+
+// seedIncumbents warms the searcher with heuristic assignments.
+func seedIncumbents(in *Instance, opts Options, s *searcher) {
+	if opts.DisableHeuristics {
+		return
+	}
+	n := in.NumTasks()
+	candidates := []Heuristic{HeuristicGreedyCost, HeuristicMCT}
+	if n <= 1024 {
+		candidates = append(candidates, HeuristicMinMin, HeuristicSufferage)
+	}
+	for _, h := range candidates {
+		a := RunHeuristic(in, h)
+		if a == nil {
+			continue
+		}
+		LocalSearch(in, a, opts.LocalSearchPasses)
+		if Verify(in, a) != nil {
+			continue
+		}
+		if c := TotalCost(in, a); c < s.bestCost {
+			s.bestCost = c
+			s.bestAssign = append(s.bestAssign[:0], a...)
+			s.incumbents++
+		}
+	}
 }
 
 // searcher holds the DFS state for one Solve call.
@@ -125,11 +179,35 @@ type searcher struct {
 	nodes      int64
 	aborted    bool
 
+	// Context plumbing: ctx is polled every checkEvery nodes via a
+	// countdown so the hot loop stays divisor-free.
+	ctx          context.Context
+	checkEvery   int64
+	ctxCountdown int64
+	ctxAborted   bool
+
+	// Instrumentation counters feeding Solution.Stats.
+	prunedBound    int64
+	prunedDeadline int64
+	prunedBudget   int64
+	incumbents     int64
+
 	// rootOnly, when >= 0, restricts the first branching task to that
 	// GSP — SolveParallel's disjoint root split. Constructors must set
 	// it explicitly (-1 for a full search): the int zero value would
 	// silently mean "GSP 0 only".
 	rootOnly int
+}
+
+// fill copies the searcher's counters into a solution's diagnostics.
+func (s *searcher) fill(sol *Solution) {
+	sol.Nodes += s.nodes
+	sol.NodeBudgetHit = sol.NodeBudgetHit || (s.aborted && !s.ctxAborted)
+	sol.Stats.Nodes += s.nodes
+	sol.Stats.PrunedByBound += s.prunedBound
+	sol.Stats.PrunedByDeadline += s.prunedDeadline
+	sol.Stats.PrunedByBudget += s.prunedBudget
+	sol.Stats.IncumbentUpdates += s.incumbents
 }
 
 func (s *searcher) prepare() {
@@ -181,7 +259,17 @@ func (s *searcher) dfs(pos int, costSoFar float64) {
 	s.nodes++
 	if s.budget > 0 && s.nodes > s.budget {
 		s.aborted = true
+		s.prunedBudget++
 		return
+	}
+	if s.ctxCountdown--; s.ctxCountdown <= 0 {
+		s.ctxCountdown = s.checkEvery
+		if s.ctx.Err() != nil {
+			s.aborted = true
+			s.ctxAborted = true
+			s.prunedDeadline++
+			return
+		}
 	}
 	if pos == s.n {
 		if s.uncovered == 0 && costSoFar < s.bestCost && costSoFar <= s.cap+Eps {
@@ -192,15 +280,18 @@ func (s *searcher) dfs(pos int, costSoFar float64) {
 			for p, t := range s.order {
 				s.bestAssign[t] = s.assign[p]
 			}
+			s.incumbents++
 		}
 		return
 	}
 	remaining := s.n - pos
 	if s.uncovered > remaining {
+		s.prunedBound++
 		return // cannot cover every GSP anymore
 	}
 	bound := costSoFar + s.sufMin[pos]
 	if bound >= s.bestCost-Eps || bound > s.cap+Eps {
+		s.prunedBound++
 		return
 	}
 	t := s.order[pos]

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 )
 
 // Eps is the tolerance for deadline and budget comparisons. Costs and times
@@ -90,6 +91,34 @@ func (in *Instance) Validate() error {
 	return nil
 }
 
+// Stats instruments one solve: how the search spent its effort and what
+// interrupted it, in the style of a serving stack's per-request run stats.
+type Stats struct {
+	// Nodes counts branch-and-bound nodes explored (mirrors
+	// Solution.Nodes).
+	Nodes int64
+	// PrunedByBound counts subtrees cut by the cost lower bound, the
+	// budget cap, or the coverage-feasibility check.
+	PrunedByBound int64
+	// PrunedByDeadline counts search interruptions by context
+	// cancellation or deadline expiry (at most one per searcher; the
+	// root-split parallel solver can accumulate one per subtree).
+	PrunedByDeadline int64
+	// PrunedByBudget counts search interruptions by node-budget
+	// exhaustion (same cardinality as PrunedByDeadline).
+	PrunedByBudget int64
+	// IncumbentUpdates counts strict improvements of the best feasible
+	// assignment, heuristic seeds included.
+	IncumbentUpdates int64
+	// WallTime is the wall-clock duration of the solve.
+	WallTime time.Duration
+}
+
+// Interrupted reports whether the search was cut short by the context —
+// the one condition under which a solve is not deterministic and must not
+// be cached.
+func (st *Stats) Interrupted() bool { return st.PrunedByDeadline > 0 }
+
 // Solution is the result of solving an instance.
 type Solution struct {
 	// Feasible reports whether an assignment satisfying all constraints
@@ -112,6 +141,8 @@ type Solution struct {
 	Nodes int64
 	// NodeBudgetHit reports that the search was truncated.
 	NodeBudgetHit bool
+	// Stats instruments the solve (node counts, prune causes, wall time).
+	Stats Stats
 }
 
 // Gap returns (Cost − LowerBound)/LowerBound, the relative optimality gap,

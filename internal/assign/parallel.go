@@ -1,9 +1,10 @@
 package assign
 
 import (
-	"math"
+	"context"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // SolveParallel is Solve with the branch-and-bound root split across a
@@ -19,19 +20,30 @@ import (
 // serially) still seeds every subtree, which recovers most of it in
 // practice. workers <= 0 selects GOMAXPROCS.
 func SolveParallel(in *Instance, opts Options, workers int) Solution {
+	return SolveParallelCtx(context.Background(), in, opts, workers)
+}
+
+// SolveParallelCtx is SolveParallel honoring ctx: each subtree searcher
+// polls the context like SolveCtx does, and cancellation makes the merged
+// result carry the best incumbent found across subtrees with
+// Optimal == false.
+func SolveParallelCtx(ctx context.Context, in *Instance, opts Options, workers int) Solution {
 	if err := in.Validate(); err != nil {
 		panic(err)
 	}
+	start := time.Now()
 	k, n := in.NumGSPs(), in.NumTasks()
 	sol := Solution{LowerBound: lowerBoundTotal(in)}
 	if k == 0 {
 		sol.Feasible = n == 0
 		sol.Optimal = true
 		sol.Assign = []int{}
+		sol.Stats.WallTime = time.Since(start)
 		return sol
 	}
 	if n < k {
 		sol.Optimal = true
+		sol.Stats.WallTime = time.Since(start)
 		return sol
 	}
 	if workers <= 0 {
@@ -51,27 +63,23 @@ func SolveParallel(in *Instance, opts Options, workers int) Solution {
 	}
 
 	// Shared heuristic incumbent, computed once.
-	incumbentCost := math.Inf(1)
-	var incumbentAssign []int
-	if !opts.DisableHeuristics {
-		candidates := []Heuristic{HeuristicGreedyCost, HeuristicMCT}
-		if n <= 1024 {
-			candidates = append(candidates, HeuristicMinMin, HeuristicSufferage)
+	seed := newSearcher(ctx, in, opts, perSubtree, -1)
+	seedIncumbents(in, opts, seed)
+	incumbentCost := seed.bestCost
+	incumbentAssign := seed.bestAssign
+
+	if ctx.Err() != nil {
+		// Already cancelled: skip the subtree searches entirely.
+		if incumbentAssign != nil {
+			sol.Feasible = true
+			sol.Cost = incumbentCost
+			sol.Assign = append([]int(nil), incumbentAssign...)
 		}
-		for _, h := range candidates {
-			a := RunHeuristic(in, h)
-			if a == nil {
-				continue
-			}
-			LocalSearch(in, a, opts.LocalSearchPasses)
-			if Verify(in, a) != nil {
-				continue
-			}
-			if c := TotalCost(in, a); c < incumbentCost {
-				incumbentCost = c
-				incumbentAssign = append(incumbentAssign[:0], a...)
-			}
-		}
+		sol.Stats.IncumbentUpdates = seed.incumbents
+		sol.Stats.PrunedByDeadline = 1
+		sol.Optimal = sol.Feasible && sol.Cost <= sol.LowerBound+Eps
+		sol.Stats.WallTime = time.Since(start)
+		return sol
 	}
 
 	results := make([]*searcher, k)
@@ -85,15 +93,8 @@ func SolveParallel(in *Instance, opts Options, workers int) Solution {
 				<-sem
 				wg.Done()
 			}()
-			s := &searcher{
-				in:       in,
-				k:        k,
-				n:        n,
-				budget:   perSubtree,
-				bestCost: incumbentCost,
-				cap:      in.budgetCap(),
-				rootOnly: root,
-			}
+			s := newSearcher(ctx, in, opts, perSubtree, root)
+			s.bestCost = incumbentCost
 			if incumbentAssign != nil {
 				s.bestAssign = append([]int(nil), incumbentAssign...)
 			}
@@ -107,11 +108,11 @@ func SolveParallel(in *Instance, opts Options, workers int) Solution {
 	best := incumbentCost
 	bestAssign := incumbentAssign
 	allComplete := true
+	sol.Stats.IncumbentUpdates = seed.incumbents
 	for _, s := range results {
-		sol.Nodes += s.nodes
+		s.fill(&sol)
 		if s.aborted {
 			allComplete = false
-			sol.NodeBudgetHit = true
 		}
 		if s.bestAssign != nil && s.bestCost < best {
 			best = s.bestCost
@@ -127,5 +128,6 @@ func SolveParallel(in *Instance, opts Options, workers int) Solution {
 	if sol.Feasible && sol.Cost <= sol.LowerBound+Eps {
 		sol.Optimal = true
 	}
+	sol.Stats.WallTime = time.Since(start)
 	return sol
 }

@@ -14,6 +14,7 @@ package coalition
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 
 	"gridvo/internal/xrand"
@@ -66,14 +67,19 @@ func (g *Game) Mask(members []int) uint64 {
 	return m
 }
 
-// Members converts a bitmask back to a sorted member list.
+// Members converts a bitmask back to a sorted member list. Hot in cache
+// keying and subset enumeration, so it preallocates exactly
+// bits.OnesCount64 entries and jumps bit to bit with TrailingZeros64
+// instead of walking all 64 positions.
 func Members(mask uint64) []int {
-	var out []int
-	for i := 0; mask != 0; i++ {
-		if mask&1 != 0 {
-			out = append(out, i)
-		}
-		mask >>= 1
+	if mask == 0 {
+		return nil
+	}
+	out := make([]int, 0, bits.OnesCount64(mask))
+	for mask != 0 {
+		i := bits.TrailingZeros64(mask)
+		out = append(out, i)
+		mask &^= 1 << uint(i)
 	}
 	return out
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"gridvo/internal/assign"
 	"gridvo/internal/reputation"
 	"gridvo/internal/xrand"
 )
@@ -87,6 +88,29 @@ func BenchmarkMergeSplitVsTVOF(b *testing.B) {
 		}
 		b.ReportMetric(payoff, "payoff")
 	})
+}
+
+// BenchmarkEngineCache measures a full TVOF run followed by the stability
+// audit on a shared engine, reporting the cache-hit rate and the absolute
+// number of solves avoided by the per-scenario solve cache.
+func BenchmarkEngineCache(b *testing.B) {
+	sc := testScenario(55, 10, 96)
+	var hitRate, avoided float64
+	for i := 0; i < b.N; i++ {
+		eng := NewEngine(sc, assign.Options{})
+		res, err := Run(sc, Options{Eviction: EvictLowestReputation, Engine: eng}, xrand.New(uint64(i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := StabilityCheck(sc, res, Options{}, CriterionAverage); err != nil {
+			b.Fatal(err)
+		}
+		st := eng.Stats()
+		hitRate = st.HitRate()
+		avoided = float64(st.CacheHits)
+	}
+	b.ReportMetric(hitRate, "cache-hit-rate")
+	b.ReportMetric(avoided, "solves-avoided/run")
 }
 
 // BenchmarkStabilityCheck measures the Definition-1 audit.

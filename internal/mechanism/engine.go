@@ -1,0 +1,216 @@
+package mechanism
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gridvo/internal/assign"
+	"gridvo/internal/coalition"
+)
+
+// EngineStats aggregates solver-engine activity: how many coalition
+// evaluations hit the IP solver, how many were served from the cache, and
+// what the fresh solves cost. All counters are cumulative; Result.Stats
+// carries the per-run delta.
+type EngineStats struct {
+	// Solves counts fresh IP solves performed by the engine.
+	Solves int64
+	// CacheHits counts coalition evaluations served from the cache —
+	// i.e. solves avoided.
+	CacheHits int64
+	// Nodes sums branch-and-bound nodes across fresh solves.
+	Nodes int64
+	// WallTime sums solver wall-clock time across fresh solves.
+	WallTime time.Duration
+}
+
+// Evaluations returns the total coalition evaluations the engine served
+// (fresh solves plus cache hits).
+func (s EngineStats) Evaluations() int64 { return s.Solves + s.CacheHits }
+
+// HitRate returns CacheHits / Evaluations, or 0 when nothing was served.
+func (s EngineStats) HitRate() float64 {
+	if t := s.Evaluations(); t > 0 {
+		return float64(s.CacheHits) / float64(t)
+	}
+	return 0
+}
+
+// Add returns the fieldwise sum (for harness-level aggregation).
+func (s EngineStats) Add(o EngineStats) EngineStats {
+	return EngineStats{
+		Solves:    s.Solves + o.Solves,
+		CacheHits: s.CacheHits + o.CacheHits,
+		Nodes:     s.Nodes + o.Nodes,
+		WallTime:  s.WallTime + o.WallTime,
+	}
+}
+
+// Sub returns the fieldwise difference (for per-run deltas on a shared
+// engine).
+func (s EngineStats) Sub(o EngineStats) EngineStats {
+	return EngineStats{
+		Solves:    s.Solves - o.Solves,
+		CacheHits: s.CacheHits - o.CacheHits,
+		Nodes:     s.Nodes - o.Nodes,
+		WallTime:  s.WallTime - o.WallTime,
+	}
+}
+
+// String renders the stats for the cmds' summaries.
+func (s EngineStats) String() string {
+	return fmt.Sprintf("%d solves, %d cache hits (%.1f%% hit rate, %d solves avoided), %d nodes, %s solver time",
+		s.Solves, s.CacheHits, 100*s.HitRate(), s.CacheHits, s.Nodes, s.WallTime)
+}
+
+// Engine is the unified solve path for one scenario: every layer that
+// needs v(C) — the mechanism loop, the stability check, the merge-split
+// baseline, coalition.Game value functions — routes through Engine.Solve,
+// which memoizes solutions by coalition bitmask. One engine per scenario
+// means TVOF iterations, RVOF baselines, and post-hoc stability analyses
+// never re-solve a coalition any of them already solved.
+//
+// Solutions are cached only when the search was not interrupted by the
+// context (an interrupted solve is deadline-dependent, hence not
+// deterministic); node-budget truncation is deterministic and cacheable.
+// Engine is safe for concurrent use.
+type Engine struct {
+	sc     *Scenario
+	solver assign.Solver
+	opts   assign.Options
+
+	mu      sync.Mutex
+	noCache bool
+	cache   map[uint64]assign.Solution
+	stats   EngineStats
+}
+
+// NewEngine creates the solve engine for a scenario with the given solver
+// options. The scenario's matrices, deadline, and payment must not change
+// afterwards — the cache keys coalitions only by membership.
+func NewEngine(sc *Scenario, solverOpts assign.Options) *Engine {
+	return &Engine{
+		sc:     sc,
+		solver: assign.DefaultSolver(),
+		opts:   solverOpts,
+		cache:  map[uint64]assign.Solution{},
+	}
+}
+
+// SetSolver replaces the backend (tests inject counting or stub solvers;
+// future PRs can swap in alternative backends). Not safe to call
+// concurrently with Solve.
+func (e *Engine) SetSolver(s assign.Solver) {
+	if s == nil {
+		s = assign.DefaultSolver()
+	}
+	e.solver = s
+}
+
+// SetCacheEnabled toggles memoization (the determinism tests compare
+// cache-on and cache-off runs). Disabling does not drop entries already
+// cached; it only bypasses lookups and stores.
+func (e *Engine) SetCacheEnabled(on bool) {
+	e.mu.Lock()
+	e.noCache = !on
+	e.mu.Unlock()
+}
+
+// Scenario returns the scenario the engine solves for.
+func (e *Engine) Scenario() *Scenario { return e.sc }
+
+// Stats returns a snapshot of the cumulative engine stats.
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// CacheLen reports how many distinct coalitions are cached.
+func (e *Engine) CacheLen() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.cache)
+}
+
+// memberMask returns the coalition bitmask, or false when the member set
+// cannot be keyed (≥64 GSPs — beyond coalition.MaxPlayers the cache is
+// bypassed rather than wrong).
+func memberMask(members []int) (uint64, bool) {
+	var mask uint64
+	for _, g := range members {
+		if g < 0 || g > 63 {
+			return 0, false
+		}
+		mask |= 1 << uint(g)
+	}
+	return mask, true
+}
+
+// Solve returns the assignment solution for the coalition given by global
+// GSP indices, serving from the cache when the coalition was already
+// solved. Cache hits return a defensive copy of the assignment so callers
+// can retain it without aliasing each other.
+func (e *Engine) Solve(ctx context.Context, members []int) assign.Solution {
+	mask, keyable := memberMask(members)
+	if keyable {
+		e.mu.Lock()
+		if !e.noCache {
+			if sol, ok := e.cache[mask]; ok {
+				e.stats.CacheHits++
+				e.mu.Unlock()
+				sol.Assign = append([]int(nil), sol.Assign...)
+				return sol
+			}
+		}
+		e.mu.Unlock()
+	}
+
+	sol := e.solver.SolveCtx(ctx, e.sc.Instance(members), e.opts)
+
+	e.mu.Lock()
+	e.stats.Solves++
+	e.stats.Nodes += sol.Stats.Nodes
+	e.stats.WallTime += sol.Stats.WallTime
+	if keyable && !e.noCache && !sol.Stats.Interrupted() {
+		cached := sol
+		cached.Assign = append([]int(nil), sol.Assign...)
+		e.cache[mask] = cached
+	}
+	e.mu.Unlock()
+	return sol
+}
+
+// Value returns the characteristic function v(C) of eq. (15) under the
+// engine: P − C(T,C) when feasible, else 0.
+func (e *Engine) Value(ctx context.Context, members []int) float64 {
+	sol := e.Solve(ctx, members)
+	return e.sc.Value(&sol)
+}
+
+// ValueFunc adapts the engine to coalition.ValueFunc, so coalition.Game
+// construction shares the per-scenario cache instead of owning a second,
+// disjoint memoization of the same NP-hard solves.
+func (e *Engine) ValueFunc(ctx context.Context) coalition.ValueFunc {
+	return func(members []int) float64 { return e.Value(ctx, members) }
+}
+
+// errEngineScenario rejects an engine passed for the wrong scenario — a
+// cross-scenario cache would silently serve wrong solutions.
+var errEngineScenario = errors.New("mechanism: engine belongs to a different scenario")
+
+// engineFor returns the engine a mechanism entry point should use: the
+// one the caller passed via Options, else a fresh engine for the
+// scenario.
+func engineFor(sc *Scenario, opts *Options) (*Engine, error) {
+	if opts.Engine != nil {
+		if opts.Engine.sc != sc {
+			return nil, errEngineScenario
+		}
+		return opts.Engine, nil
+	}
+	return NewEngine(sc, opts.Solver), nil
+}

@@ -1,6 +1,7 @@
 package mechanism
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -60,6 +61,13 @@ type Options struct {
 	// iteration (memory ∝ iterations × n); when false only the selected
 	// VO's assignment is kept.
 	KeepAssignments bool
+	// Engine, when non-nil, is the shared solve engine for the scenario:
+	// pass the same engine to TVOF, RVOF, stability checks, and
+	// merge-split runs on one scenario so no coalition is ever solved
+	// twice. Nil creates a fresh engine per run (its solver options are
+	// then taken from Solver). A passed engine must have been built for
+	// the same scenario.
+	Engine *Engine
 }
 
 func (o *Options) fillDefaults() {
@@ -133,6 +141,16 @@ type Result struct {
 	// GlobalReputation is the grand coalition's global reputation vector
 	// (one entry per GSP), the x of eq. (6) on the full trust graph.
 	GlobalReputation []float64
+	// Stats aggregates the solver-engine activity attributable to this
+	// run: fresh solves, cache hits (solves avoided), branch-and-bound
+	// nodes, and solver wall time. On a shared engine this is the
+	// per-run delta, not the engine's cumulative total.
+	Stats EngineStats
+	// Engine is the solve engine the run used. It carries the
+	// per-scenario solution cache, so post-hoc analyses (StabilityCheck,
+	// Pareto extraction, merge-split comparisons) reuse the mechanism's
+	// solves instead of repeating them.
+	Engine *Engine
 }
 
 // Final returns the selected iteration record, or nil when no feasible VO
@@ -189,15 +207,31 @@ func (res *Result) Candidates() []coalition.Candidate {
 //  4. select from L the VO with the highest individual payoff
 //
 // rng drives tie-breaking (TVOF) and random eviction (RVOF); identical
-// seeds give identical runs.
+// seeds give identical runs. Run is RunContext with a background context.
 func Run(sc *Scenario, opts Options, rng *xrand.RNG) (*Result, error) {
+	return RunContext(context.Background(), sc, opts, rng)
+}
+
+// RunContext is Run honoring ctx: every IP solve polls the context, so
+// cancellation or deadline expiry degrades each iteration to its best
+// incumbent (heuristic-seeded, Optimal == false) instead of hanging — the
+// run still completes and returns a usable result, never an
+// error-and-nothing. All solves route through one Engine (opts.Engine or
+// a fresh one), which the returned Result exposes for post-hoc analyses.
+func RunContext(ctx context.Context, sc *Scenario, opts Options, rng *xrand.RNG) (*Result, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
 	opts.fillDefaults()
 	start := time.Now()
 
-	res := &Result{Rule: opts.Eviction, Selected: -1, SelectedByProduct: -1}
+	eng, err := engineFor(sc, &opts)
+	if err != nil {
+		return nil, err
+	}
+	statsBefore := eng.Stats()
+
+	res := &Result{Rule: opts.Eviction, Selected: -1, SelectedByProduct: -1, Engine: eng}
 
 	// Global reputation of every GSP in the full trust graph, computed
 	// once; eq. (7) averages over its restriction to each VO.
@@ -220,8 +254,9 @@ func Run(sc *Scenario, opts Options, rng *xrand.RNG) (*Result, error) {
 			Evicted: -1,
 		}
 
-		// Map program T on C using IP-B&B (Algorithm 1 line 5).
-		sol := assign.Solve(sc.Instance(members), opts.Solver)
+		// Map program T on C using IP-B&B (Algorithm 1 line 5), served
+		// through the shared engine.
+		sol := eng.Solve(ctx, members)
 		rec.Feasible = sol.Feasible
 		rec.SolverOptimal = sol.Optimal
 		rec.SolverGap = sol.Gap()
@@ -277,7 +312,8 @@ func Run(sc *Scenario, opts Options, rng *xrand.RNG) (*Result, error) {
 		members = next
 	}
 
-	selectFinal(sc, res, opts)
+	selectFinal(ctx, eng, res, opts)
+	res.Stats = eng.Stats().Sub(statsBefore)
 	res.Duration = time.Since(start)
 	return res, nil
 }
@@ -307,7 +343,7 @@ func pickEviction(scores []float64, opts Options, rng *xrand.RNG) int {
 }
 
 // selectFinal applies Algorithm 1 line 14 and the Fig. 4 comparator.
-func selectFinal(sc *Scenario, res *Result, opts Options) {
+func selectFinal(ctx context.Context, eng *Engine, res *Result, opts Options) {
 	bestPayoff, bestProduct := -1, -1
 	for i := range res.Iterations {
 		rec := &res.Iterations[i]
@@ -325,9 +361,10 @@ func selectFinal(sc *Scenario, res *Result, opts Options) {
 	res.Selected = bestPayoff
 	res.SelectedByProduct = bestProduct
 	// Ensure the selected VO carries its assignment even when
-	// KeepAssignments was off: re-solve once (cheap relative to the run).
+	// KeepAssignments was off: re-request it from the engine — a cache
+	// hit, since the mechanism loop just solved this coalition.
 	if bestPayoff >= 0 && res.Iterations[bestPayoff].Assignment == nil {
-		sol := assign.Solve(sc.Instance(res.Iterations[bestPayoff].Members), opts.Solver)
+		sol := eng.Solve(ctx, res.Iterations[bestPayoff].Members)
 		if sol.Feasible {
 			res.Iterations[bestPayoff].Assignment = sol.Assign
 		}

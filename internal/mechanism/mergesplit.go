@@ -1,6 +1,7 @@
 package mechanism
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -35,6 +36,10 @@ type MergeSplitOptions struct {
 	MaxRounds int
 	// Reputation configures the scores recorded for the final VO.
 	Reputation reputation.Options
+	// Engine, when non-nil, is the shared per-scenario solve engine —
+	// pass the engine of a TVOF/RVOF run on the same scenario and the
+	// nested coalitions both mechanisms evaluate are solved once.
+	Engine *Engine
 }
 
 // MergeSplitResult reports the outcome of the merge-and-split process.
@@ -53,25 +58,41 @@ type MergeSplitResult struct {
 	Rounds int
 	// Evaluations is the number of distinct coalition IP solves.
 	Evaluations int
+	// Stats is the solver-engine delta attributable to this run (fresh
+	// solves, cache hits against coalitions other mechanisms on the
+	// shared engine already solved, nodes, solver wall time).
+	Stats EngineStats
 	// Duration is the wall-clock time of the run.
 	Duration time.Duration
 }
 
-// MergeSplit runs the baseline on a scenario.
+// MergeSplit runs the baseline on a scenario. It is MergeSplitContext
+// with a background context.
 func MergeSplit(sc *Scenario, opts MergeSplitOptions) (*MergeSplitResult, error) {
+	return MergeSplitContext(context.Background(), sc, opts)
+}
+
+// MergeSplitContext is MergeSplit honoring ctx: the per-coalition IP
+// solves poll the context and degrade to heuristic incumbents on
+// cancellation. All characteristic-function values route through the
+// shared engine (opts.Engine or a fresh one), whose cache the
+// coalition.Game value function is built on.
+func MergeSplitContext(ctx context.Context, sc *Scenario, opts MergeSplitOptions) (*MergeSplitResult, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
 	start := time.Now()
 	m := sc.M()
 
-	game := coalition.NewGame(m, func(members []int) float64 {
-		sol := assign.Solve(sc.Instance(members), opts.Solver)
-		if !sol.Feasible {
-			return 0
-		}
-		return sc.Payment - sol.Cost
-	})
+	eng := opts.Engine
+	if eng == nil {
+		eng = NewEngine(sc, opts.Solver)
+	} else if eng.sc != sc {
+		return nil, errEngineScenario
+	}
+	statsBefore := eng.Stats()
+
+	game := coalition.NewGame(m, eng.ValueFunc(ctx))
 	share := func(members []int) float64 {
 		if len(members) == 0 {
 			return 0
@@ -183,6 +204,7 @@ func MergeSplit(sc *Scenario, opts MergeSplitOptions) (*MergeSplitResult, error)
 		}
 		res.AvgReputation = reputation.AverageOf(global, res.Selected)
 	}
+	res.Stats = eng.Stats().Sub(statsBefore)
 	res.Duration = time.Since(start)
 	return res, nil
 }

@@ -1,7 +1,8 @@
 package mechanism
 
 import (
-	"gridvo/internal/assign"
+	"context"
+
 	"gridvo/internal/coalition"
 	"gridvo/internal/reputation"
 	"gridvo/internal/xrand"
@@ -13,10 +14,20 @@ func TVOF(sc *Scenario, rng *xrand.RNG) (*Result, error) {
 	return Run(sc, Options{Eviction: EvictLowestReputation}, rng)
 }
 
+// TVOFContext is TVOF honoring ctx (see RunContext).
+func TVOFContext(ctx context.Context, sc *Scenario, rng *xrand.RNG) (*Result, error) {
+	return RunContext(ctx, sc, Options{Eviction: EvictLowestReputation}, rng)
+}
+
 // RVOF runs the Random VO Formation baseline: identical to TVOF except a
 // uniformly random member is evicted each iteration (Section IV-B).
 func RVOF(sc *Scenario, rng *xrand.RNG) (*Result, error) {
 	return Run(sc, Options{Eviction: EvictRandom}, rng)
+}
+
+// RVOFContext is RVOF honoring ctx (see RunContext).
+func RVOFContext(ctx context.Context, sc *Scenario, rng *xrand.RNG) (*Result, error) {
+	return RunContext(ctx, sc, Options{Eviction: EvictRandom}, rng)
 }
 
 // ReputationCriterion selects how a member scores the reputation of a VO
@@ -42,10 +53,26 @@ const (
 // StabilityCheck evaluates Definition 1 (individual stability) for the
 // selected VO of a result under the given reputation criterion: it asks,
 // for each member G, whether the rest would weakly prefer the VO without G
-// with someone strictly preferring it. The evaluation solves the
-// assignment IP for each |C|−1-member candidate, so it costs |C| extra IP
-// solves — intended for analysis and tests, not the mechanism's hot path.
+// with someone strictly preferring it. It is StabilityCheckContext with a
+// background context.
 func StabilityCheck(sc *Scenario, res *Result, opts Options, criterion ReputationCriterion) (stable bool, destabilizer int, err error) {
+	return StabilityCheckContext(context.Background(), sc, res, opts, criterion)
+}
+
+// StabilityCheckContext evaluates Definition 1 reusing everything the
+// mechanism run already computed: the grand coalition's global reputation
+// (res.GlobalReputation) and the run's solve engine (res.Engine, unless
+// opts.Engine overrides it), so coalitions the mechanism visited — the
+// selected VO above all — are cache hits, not fresh IP solves.
+//
+// Under CriterionTotal the check short-circuits analytically: when every
+// member carries strictly positive global reputation, any departure
+// strictly lowers the remainder's total-reputation criterion, so no
+// departure can be a Pareto improvement — the VO is stable with zero
+// solves, exactly the argument of Theorem 1's proof. The exhaustive
+// evaluation (|C| candidate coalitions) runs only for CriterionAverage or
+// degenerate reputation vectors.
+func StabilityCheckContext(ctx context.Context, sc *Scenario, res *Result, opts Options, criterion ReputationCriterion) (stable bool, destabilizer int, err error) {
 	opts.fillDefaults()
 	final := res.Final()
 	if final == nil || len(final.Members) <= 1 {
@@ -58,8 +85,18 @@ func StabilityCheck(sc *Scenario, res *Result, opts Options, criterion Reputatio
 			return false, -1, err
 		}
 	}
+	if criterion == CriterionTotal && totalStrictlyDecreases(global, final.Members) {
+		return true, -1, nil
+	}
+	if opts.Engine == nil && res.Engine != nil && res.Engine.sc == sc {
+		opts.Engine = res.Engine
+	}
+	eng, err := engineFor(sc, &opts)
+	if err != nil {
+		return false, -1, err
+	}
 	eval := func(member int, members []int) coalition.Outcome {
-		sol := assign.Solve(sc.Instance(members), opts.Solver)
+		sol := eng.Solve(ctx, members)
 		payoff := 0.0
 		if sol.Feasible {
 			payoff = sc.Value(&sol) / float64(len(members))
@@ -72,4 +109,22 @@ func StabilityCheck(sc *Scenario, res *Result, opts Options, criterion Reputatio
 	}
 	stable, destabilizer = coalition.IsIndividuallyStable(final.Members, eval)
 	return stable, destabilizer, nil
+}
+
+// totalStrictlyDecreases reports whether removing any single member
+// strictly lowers the coalition's total global reputation in floating
+// point — the premise of Theorem 1's proof. False when a member's score is
+// zero (or so small the subtraction underflows), in which case the
+// exhaustive check must run.
+func totalStrictlyDecreases(global []float64, members []int) bool {
+	total := 0.0
+	for _, g := range members {
+		total += global[g]
+	}
+	for _, g := range members {
+		if !(total-global[g] < total) {
+			return false
+		}
+	}
+	return true
 }

@@ -4,6 +4,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"gridvo/internal/assign"
@@ -180,21 +181,33 @@ func (e *Env) BuildScenario(size, rep int) (*mechanism.Scenario, ScenarioMeta, e
 }
 
 // RunPair executes TVOF and RVOF on the same scenario with split RNG
-// streams, as the paper's comparisons do.
+// streams, as the paper's comparisons do. It is RunPairContext with a
+// background context.
 func (e *Env) RunPair(sc *mechanism.Scenario, size, rep int) (tvof, rvof *mechanism.Result, err error) {
+	return e.RunPairContext(context.Background(), sc, size, rep)
+}
+
+// RunPairContext is RunPair honoring ctx. Both runs share one solve
+// engine for the scenario, so coalitions TVOF already solved (the grand
+// coalition above all, plus any eviction-chain overlap) are cache hits
+// for RVOF rather than repeated IP solves.
+func (e *Env) RunPairContext(ctx context.Context, sc *mechanism.Scenario, size, rep int) (tvof, rvof *mechanism.Result, err error) {
 	cfg := e.Config
+	eng := mechanism.NewEngine(sc, cfg.Solver)
 	optsT := cfg.Mechanism
 	optsT.Eviction = mechanism.EvictLowestReputation
 	optsT.Solver = cfg.Solver
+	optsT.Engine = eng
 	optsR := cfg.Mechanism
 	optsR.Eviction = mechanism.EvictRandom
 	optsR.Solver = cfg.Solver
+	optsR.Engine = eng
 	key := fmt.Sprintf("run-%d-%d", size, rep)
-	tvof, err = mechanism.Run(sc, optsT, e.rng.Split(key+"-tvof"))
+	tvof, err = mechanism.RunContext(ctx, sc, optsT, e.rng.Split(key+"-tvof"))
 	if err != nil {
 		return nil, nil, err
 	}
-	rvof, err = mechanism.Run(sc, optsR, e.rng.Split(key+"-rvof"))
+	rvof, err = mechanism.RunContext(ctx, sc, optsR, e.rng.Split(key+"-rvof"))
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"gridvo/internal/mechanism"
@@ -23,11 +24,24 @@ type SweepPoint struct {
 // behind Figs. 1, 2, 3 and 9.
 type SweepResult struct {
 	Points []SweepPoint
+	// Stats aggregates solver-engine activity over every mechanism run
+	// of the sweep (fresh IP solves, cache hits, B&B nodes, solver wall
+	// time). Counter sums are order-independent, so serial and parallel
+	// sweeps report identical stats.
+	Stats mechanism.EngineStats
 }
 
 // Sweep runs TVOF and RVOF over every (program size, repetition) pair of
 // the config. progress, when non-nil, receives a line per completed run.
+// It is SweepContext with a background context.
 func (e *Env) Sweep(progress func(string)) (*SweepResult, error) {
+	return e.SweepContext(context.Background(), progress)
+}
+
+// SweepContext is Sweep honoring ctx: per-coalition solves degrade to
+// heuristic incumbents once ctx is done, so a timed-out sweep still
+// returns a complete (if sub-optimal) grid instead of failing.
+func (e *Env) SweepContext(ctx context.Context, progress func(string)) (*SweepResult, error) {
 	out := &SweepResult{}
 	for _, size := range e.Config.ProgramSizes {
 		pt := SweepPoint{Size: size}
@@ -36,7 +50,7 @@ func (e *Env) Sweep(progress func(string)) (*SweepResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			tv, rv, err := e.RunPair(sc, size, rep)
+			tv, rv, err := e.RunPairContext(ctx, sc, size, rep)
 			if err != nil {
 				return nil, err
 			}
@@ -54,6 +68,7 @@ func (e *Env) Sweep(progress func(string)) (*SweepResult, error) {
 			pt.TVOFSec = append(pt.TVOFSec, tv.Duration.Seconds())
 			pt.RVOFSec = append(pt.RVOFSec, rv.Duration.Seconds())
 			pt.Retries = append(pt.Retries, float64(meta.FeasibilityRetries))
+			out.Stats = out.Stats.Add(tv.Stats).Add(rv.Stats)
 			if progress != nil {
 				progress(fmt.Sprintf("n=%d rep=%d: tvof |C|=%d payoff=%.1f rep=%.3f; rvof |C|=%d payoff=%.1f rep=%.3f",
 					size, rep, tf.Size(), tf.Payoff, tf.AvgReputation, rf.Size(), rf.Payoff, rf.AvgReputation))

@@ -1,10 +1,13 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+
+	"gridvo/internal/mechanism"
 )
 
 // SweepParallel is Sweep fanned out over a worker pool: every (program
@@ -15,8 +18,19 @@ import (
 // reorder any stream. workers <= 0 selects GOMAXPROCS.
 //
 // progress, when non-nil, is invoked from worker goroutines and must be
-// safe for concurrent use.
+// safe for concurrent use. It is SweepParallelContext with a background
+// context.
 func (e *Env) SweepParallel(workers int, progress func(string)) (*SweepResult, error) {
+	return e.SweepParallelContext(context.Background(), workers, progress)
+}
+
+// SweepParallelContext is SweepParallel honoring ctx: all workers share
+// the context, so a timeout degrades every in-flight solve to its
+// heuristic incumbent and the sweep still returns a complete grid.
+// Engine stats are summed per cell; counter sums commute, so the solve,
+// cache-hit, and node aggregates match the serial SweepContext exactly
+// (WallTime, being measured, varies run to run).
+func (e *Env) SweepParallelContext(ctx context.Context, workers int, progress func(string)) (*SweepResult, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -31,6 +45,7 @@ func (e *Env) SweepParallel(workers int, progress func(string)) (*SweepResult, e
 		tvofRep, rvofRep       float64
 		tvofSec, rvofSec       float64
 		retries                float64
+		stats                  mechanism.EngineStats
 		err                    error
 	}
 
@@ -57,7 +72,7 @@ func (e *Env) SweepParallel(workers int, progress func(string)) (*SweepResult, e
 					results <- out
 					continue
 				}
-				tv, rv, err := e.RunPair(sc, size, c.rep)
+				tv, rv, err := e.RunPairContext(ctx, sc, size, c.rep)
 				if err != nil {
 					out.err = err
 					results <- out
@@ -74,6 +89,7 @@ func (e *Env) SweepParallel(workers int, progress func(string)) (*SweepResult, e
 				out.tvofRep, out.rvofRep = tf.AvgReputation, rf.AvgReputation
 				out.tvofSec, out.rvofSec = tv.Duration.Seconds(), rv.Duration.Seconds()
 				out.retries = float64(meta.FeasibilityRetries)
+				out.stats = tv.Stats.Add(rv.Stats)
 				if progress != nil {
 					progress(fmt.Sprintf("n=%d rep=%d done (|C|=%d)", size, c.rep, tf.Size()))
 				}
@@ -119,6 +135,7 @@ func (e *Env) SweepParallel(workers int, progress func(string)) (*SweepResult, e
 		pt.TVOFSec = append(pt.TVOFSec, r.tvofSec)
 		pt.RVOFSec = append(pt.RVOFSec, r.rvofSec)
 		pt.Retries = append(pt.Retries, r.retries)
+		out.Stats = out.Stats.Add(r.stats)
 	}
 	return out, nil
 }
