@@ -1,0 +1,65 @@
+// Command gridvod serves the TVOF mechanism over HTTP: reputation
+// queries, VO formation runs, and single coalition solves as a JSON API
+// (see API.md at the repo root).
+//
+// Usage:
+//
+//	gridvod -addr :8080 -timeout 5s
+//
+// Endpoints: POST /v1/reputation, POST /v1/vo/form, POST /v1/assign,
+// GET /healthz, GET /metrics.
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests for up to -drain. Exit codes: 0 after a clean shutdown, 1 on
+// startup or serve errors.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gridvo/internal/assign"
+	"gridvo/internal/server"
+)
+
+func main() {
+	fs := flag.NewFlagSet("gridvod", flag.ExitOnError)
+	var (
+		addr       = fs.String("addr", ":8080", "listen address")
+		timeout    = fs.Duration("timeout", 5*time.Second, "default per-request solve budget (0 = none beyond -max-timeout)")
+		maxTimeout = fs.Duration("max-timeout", 60*time.Second, "hard cap on any per-request solve budget")
+		maxBody    = fs.Int64("max-body", 8<<20, "maximum request body bytes (413 beyond)")
+		inflight   = fs.Int("inflight", 0, "maximum concurrent solve requests (0 = 2x GOMAXPROCS)")
+		engines    = fs.Int("engines", 64, "scenario solve-engine LRU size")
+		nodeCap    = fs.Int64("nodes", 0, "branch-and-bound node budget per IP solve (0 = default)")
+		drain      = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	)
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(1)
+	}
+
+	srv := server.New(server.Config{
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTimeout,
+		MaxBodyBytes:    *maxBody,
+		MaxInFlight:     *inflight,
+		EngineCacheSize: *engines,
+		Solver:          assign.Options{NodeBudget: *nodeCap},
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("gridvod listening on %s (request budget %s, cap %s)", *addr, *timeout, *maxTimeout)
+	if err := srv.ListenAndServe(ctx, *addr, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "gridvod:", err)
+		os.Exit(1)
+	}
+	log.Printf("gridvod: drained and shut down")
+}

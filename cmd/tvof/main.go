@@ -13,17 +13,24 @@
 //	}
 //
 // When "cost" is omitted a Braun-style matrix is generated from -seed.
+// (The schema is mechanism.ScenarioSpec — the same wire format the
+// gridvod HTTP API accepts.)
 //
 // Usage:
 //
 //	tvof -sample > scenario.json       # write a template
 //	tvof scenario.json                 # run TVOF on it
 //	tvof -rule rvof scenario.json      # the random baseline
+//
+// Exit codes: 0 on success (including a proven "no feasible VO exists"),
+// 1 on usage or input errors, 3 when -timeout expired before any feasible
+// VO was found — the degraded-result case that must not look like success.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -32,31 +39,25 @@ import (
 	"syscall"
 
 	"gridvo/internal/assign"
-	"gridvo/internal/grid"
 	"gridvo/internal/mechanism"
 	"gridvo/internal/tablewriter"
-	"gridvo/internal/trust"
-	"gridvo/internal/workload"
 	"gridvo/internal/xrand"
 )
 
-type jsonGSP struct {
-	Name        string  `json:"name"`
-	SpeedGFLOPS float64 `json:"speed_gflops"`
-}
+// exitDeadline is the exit code for "time budget expired with no feasible
+// VO": distinguishable from both success (0) and ordinary errors (1).
+const exitDeadline = 3
 
-type jsonScenario struct {
-	GSPs     []jsonGSP    `json:"gsps"`
-	Tasks    []float64    `json:"tasks"`
-	Deadline float64      `json:"deadline"`
-	Payment  float64      `json:"payment"`
-	Trust    *trust.Graph `json:"trust"`
-	Cost     [][]float64  `json:"cost,omitempty"`
-}
+// errDeadlineNoVO marks the run that timed out before finding any
+// feasible VO; main maps it to exitDeadline.
+var errDeadlineNoVO = errors.New("time budget expired before any feasible VO was found")
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "tvof:", err)
+		if errors.Is(err, errDeadlineNoVO) {
+			os.Exit(exitDeadline)
+		}
 		os.Exit(1)
 	}
 }
@@ -96,11 +97,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	var js jsonScenario
-	if err := json.Unmarshal(data, &js); err != nil {
+	var spec mechanism.ScenarioSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
 		return fmt.Errorf("parsing scenario: %w", err)
 	}
-	sc, err := buildScenario(&js, *seed)
+	sc, err := spec.Build(*seed)
 	if err != nil {
 		return err
 	}
@@ -144,6 +145,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	final := res.Final()
 	if final == nil {
+		// Distinguish "proven infeasible" (a legitimate answer, exit 0)
+		// from "the time budget expired before the search could find a
+		// feasible VO" (an incomplete answer, exit 3).
+		if ctx.Err() != nil {
+			return fmt.Errorf("%w (ran %d iterations with degraded solves; retry with a larger -timeout)",
+				errDeadlineNoVO, len(res.Iterations))
+		}
 		fmt.Fprintln(stdout, "\nno feasible VO exists for this scenario")
 		return nil
 	}
@@ -181,68 +189,8 @@ func memberNames(sc *mechanism.Scenario, members []int) string {
 	return s
 }
 
-func buildScenario(js *jsonScenario, seed uint64) (*mechanism.Scenario, error) {
-	m := len(js.GSPs)
-	if m == 0 {
-		return nil, fmt.Errorf("scenario has no GSPs")
-	}
-	if len(js.Tasks) == 0 {
-		return nil, fmt.Errorf("scenario has no tasks")
-	}
-	gsps := make([]grid.GSP, m)
-	for i, g := range js.GSPs {
-		name := g.Name
-		if name == "" {
-			name = fmt.Sprintf("G%d", i)
-		}
-		if g.SpeedGFLOPS <= 0 {
-			return nil, fmt.Errorf("GSP %s has non-positive speed", name)
-		}
-		gsps[i] = grid.GSP{ID: i, Name: name, SpeedGFLOPS: g.SpeedGFLOPS}
-	}
-	if js.Trust == nil {
-		return nil, fmt.Errorf("scenario has no trust graph")
-	}
-	prog := &workload.Program{Name: "json", Tasks: js.Tasks}
-	cost := js.Cost
-	if cost == nil {
-		cost = grid.CostMatrix(xrand.New(seed).Split("cost"), m, prog)
-	}
-	if len(cost) != m {
-		return nil, fmt.Errorf("cost matrix has %d rows for %d GSPs", len(cost), m)
-	}
-	sc := &mechanism.Scenario{
-		Program:  prog,
-		GSPs:     gsps,
-		Cost:     cost,
-		Time:     grid.TimeMatrix(gsps, prog),
-		Deadline: js.Deadline,
-		Payment:  js.Payment,
-		Trust:    js.Trust,
-	}
-	return sc, sc.Validate()
-}
-
 func printSample(w io.Writer, seed uint64) error {
-	rng := xrand.New(seed)
-	tg := trust.ErdosRenyi(rng.Split("trust"), 4, 0.5)
-	trust.EnsureEveryNodeTrusted(rng.Split("fix"), tg)
-	js := jsonScenario{
-		GSPs: []jsonGSP{
-			{Name: "alpha", SpeedGFLOPS: 160},
-			{Name: "beta", SpeedGFLOPS: 240},
-			{Name: "gamma", SpeedGFLOPS: 320},
-			{Name: "delta", SpeedGFLOPS: 480},
-		},
-		Tasks:    make([]float64, 12),
-		Deadline: 2000,
-		Payment:  6000,
-		Trust:    tg,
-	}
-	for i := range js.Tasks {
-		js.Tasks[i] = rng.Uniform(20000, 40000)
-	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(js)
+	return enc.Encode(mechanism.SampleSpec(seed))
 }

@@ -3,11 +3,13 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"gridvo/internal/mechanism"
 	"gridvo/internal/trust"
 )
 
@@ -29,12 +31,12 @@ func TestSampleIsValidJSON(t *testing.T) {
 	if err := run([]string{"-sample"}, &out, &errBuf); err != nil {
 		t.Fatal(err)
 	}
-	var js jsonScenario
-	if err := json.Unmarshal(out.Bytes(), &js); err != nil {
+	var spec mechanism.ScenarioSpec
+	if err := json.Unmarshal(out.Bytes(), &spec); err != nil {
 		t.Fatalf("sample does not parse: %v", err)
 	}
-	if len(js.GSPs) != 4 || len(js.Tasks) != 12 || js.Trust == nil {
-		t.Fatalf("sample malformed: %+v", js)
+	if len(spec.GSPs) != 4 || len(spec.Tasks) != 12 || spec.Trust == nil {
+		t.Fatalf("sample malformed: %+v", spec)
 	}
 }
 
@@ -66,18 +68,19 @@ func TestRunRVOFOnSample(t *testing.T) {
 	}
 }
 
-func TestRunInfeasibleScenario(t *testing.T) {
+func tightScenarioFile(t *testing.T) string {
+	t.Helper()
 	path := sampleScenarioFile(t)
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var js jsonScenario
-	if err := json.Unmarshal(data, &js); err != nil {
+	var spec mechanism.ScenarioSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
 		t.Fatal(err)
 	}
-	js.Deadline = 0.0001 // nothing can run
-	tight, err := json.Marshal(js)
+	spec.Deadline = 0.0001 // nothing can run
+	tight, err := json.Marshal(&spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,12 +88,32 @@ func TestRunInfeasibleScenario(t *testing.T) {
 	if err := os.WriteFile(tightPath, tight, 0o644); err != nil {
 		t.Fatal(err)
 	}
+	return tightPath
+}
+
+func TestRunInfeasibleScenario(t *testing.T) {
+	tightPath := tightScenarioFile(t)
 	var out, errBuf bytes.Buffer
 	if err := run([]string{tightPath}, &out, &errBuf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "no feasible VO") {
 		t.Fatalf("infeasible scenario not reported:\n%s", out.String())
+	}
+}
+
+func TestRunTimeoutNoFeasibleVOFails(t *testing.T) {
+	// With the time budget already expired and no feasible VO found, the
+	// run must fail with the distinguished deadline error (exit code 3),
+	// not print a degraded result that looks like success.
+	tightPath := tightScenarioFile(t)
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-timeout", "1ns", "-check-stability=false", tightPath}, &out, &errBuf)
+	if !errors.Is(err, errDeadlineNoVO) {
+		t.Fatalf("want errDeadlineNoVO, got %v", err)
+	}
+	if strings.Contains(out.String(), "selected VO:") {
+		t.Fatalf("timed-out infeasible run printed a selected VO:\n%s", out.String())
 	}
 }
 
@@ -122,34 +145,34 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
-func TestBuildScenarioValidation(t *testing.T) {
-	base := func() *jsonScenario {
-		return &jsonScenario{
-			GSPs:     []jsonGSP{{Name: "a", SpeedGFLOPS: 10}, {SpeedGFLOPS: 20}},
+func TestScenarioSpecValidation(t *testing.T) {
+	base := func() *mechanism.ScenarioSpec {
+		return &mechanism.ScenarioSpec{
+			GSPs:     []mechanism.GSPSpec{{Name: "a", SpeedGFLOPS: 10}, {SpeedGFLOPS: 20}},
 			Tasks:    []float64{100, 200, 300},
 			Deadline: 100,
 			Payment:  1000,
 			Trust:    sampleTrust(),
 		}
 	}
-	if sc, err := buildScenario(base(), 1); err != nil {
+	if sc, err := base().Build(1); err != nil {
 		t.Fatal(err)
 	} else if sc.GSPs[1].Name != "G1" {
 		t.Fatal("default GSP name not applied")
 	}
 	bad := base()
 	bad.GSPs[0].SpeedGFLOPS = 0
-	if _, err := buildScenario(bad, 1); err == nil {
+	if _, err := bad.Build(1); err == nil {
 		t.Fatal("zero speed accepted")
 	}
 	bad = base()
 	bad.Trust = nil
-	if _, err := buildScenario(bad, 1); err == nil {
+	if _, err := bad.Build(1); err == nil {
 		t.Fatal("missing trust accepted")
 	}
 	bad = base()
 	bad.Cost = [][]float64{{1, 2, 3}} // one row for two GSPs
-	if _, err := buildScenario(bad, 1); err == nil {
+	if _, err := bad.Build(1); err == nil {
 		t.Fatal("ragged cost matrix accepted")
 	}
 }

@@ -34,9 +34,16 @@ import (
 	"gridvo/internal/tablewriter"
 )
 
+// exitDeadline is the exit code for "time budget expired with no feasible
+// VO": distinguishable from both success (0) and ordinary errors (1).
+const exitDeadline = 3
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "vosim:", err)
+		if errors.Is(err, errDeadlineNoVO) {
+			os.Exit(exitDeadline)
+		}
 		os.Exit(1)
 	}
 }
@@ -44,6 +51,11 @@ func main() {
 // errUsage signals a bad invocation (exit 1 either way; kept distinct for
 // tests).
 var errUsage = errors.New("nothing to do; pass -fig N, -all, -table1, -ablation or -evolution")
+
+// errDeadlineNoVO marks a sweep that timed out before every cell reached a
+// feasible VO; main maps it to exitDeadline so scripts can tell a degraded
+// abort from a clean run.
+var errDeadlineNoVO = errors.New("time budget expired before a feasible VO was found")
 
 // run is the testable entry point: parses args, executes the requested
 // experiments, writes results to stdout.
@@ -199,6 +211,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 			sweep, err = env.SweepParallelContext(ctx, *par, progress)
 		}
 		if err != nil {
+			// A sweep cell without a final VO under an expired budget is
+			// an incomplete answer, not an ordinary failure: exit with
+			// the distinguished deadline code instead of pretending the
+			// partial grid is a result.
+			if ctx.Err() != nil {
+				return fmt.Errorf("%w: %v (retry with a larger -timeout)", errDeadlineNoVO, err)
+			}
 			return err
 		}
 		fmt.Fprintf(stdout, "solver engine: %s\n", sweep.Stats)

@@ -22,6 +22,7 @@ import (
 	"context"
 	"fmt"
 
+	"gridvo/internal/assign"
 	"gridvo/internal/mechanism"
 	"gridvo/internal/sim"
 	"gridvo/internal/xrand"
@@ -56,6 +57,25 @@ type EngineStats = mechanism.EngineStats
 
 // SweepResult is the size × repetition grid produced by Experiment.Sweep.
 type SweepResult = sim.SweepResult
+
+// ScenarioSpec is the portable JSON description of a scenario — the wire
+// format shared by cmd/tvof scenario files and the gridvod HTTP API. See
+// the mechanism package for fields, Validate, and Build.
+type ScenarioSpec = mechanism.ScenarioSpec
+
+// Engine is the per-scenario solve engine: every coalition evaluation
+// routes through it and is memoized by membership bitmask, so repeated
+// runs, stability checks, and service requests on the same scenario never
+// re-solve a coalition. See the mechanism package for details.
+type Engine = mechanism.Engine
+
+// NewEngine creates a solve engine for the scenario with default solver
+// options. Long-lived consumers (the gridvod server above all) keep one
+// engine per scenario and pass it to FormVOEngine so identical requests
+// become cache hits instead of fresh NP-hard solves.
+func NewEngine(sc *Scenario) *Engine {
+	return mechanism.NewEngine(sc, assign.Options{})
+}
 
 // Experiment wraps the experiment harness with the paper's Table I setup.
 type Experiment struct {
@@ -130,4 +150,22 @@ func FormVOContext(ctx context.Context, sc *Scenario, rule Rule, seed uint64) (*
 	default:
 		return nil, fmt.Errorf("gridvo: unknown rule %d", int(rule))
 	}
+}
+
+// FormVOEngine is FormVOContext routing every coalition solve through the
+// given engine (and its scenario): the reuse path for servers and batch
+// drivers that hold one engine per scenario across many requests. The
+// engine's cache survives between calls, so a repeated formation on the
+// same scenario performs zero fresh IP solves.
+func FormVOEngine(ctx context.Context, eng *Engine, rule Rule, seed uint64) (*Result, error) {
+	opts := mechanism.Options{Engine: eng}
+	switch rule {
+	case TVOF:
+		opts.Eviction = mechanism.EvictLowestReputation
+	case RVOF:
+		opts.Eviction = mechanism.EvictRandom
+	default:
+		return nil, fmt.Errorf("gridvo: unknown rule %d", int(rule))
+	}
+	return mechanism.RunContext(ctx, eng.Scenario(), opts, xrand.New(seed))
 }

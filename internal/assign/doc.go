@@ -1,0 +1,17 @@
+// Package assign solves the task assignment problem at the core of the VO
+// formation mechanism: the integer program (9)–(14) of the paper. Given a
+// candidate VO of k GSPs and an n-task program, find the mapping of tasks
+// to GSPs that minimizes total execution cost subject to
+//
+//	(10) total cost ≤ payment P (the budget),
+//	(11) each GSP finishes its assigned tasks by the deadline d,
+//	(12) every task is assigned to exactly one GSP,
+//	(13) every GSP of the VO receives at least one task,
+//	(14) integrality.
+//
+// This is a generalized-assignment-style NP-hard problem; the paper solves
+// it with CPLEX branch-and-bound. This package provides a from-scratch
+// exact branch-and-bound solver with heuristic incumbents (greedy coverage,
+// MCT, Min-Min, Max-Min, Sufferage), a local-search improver, a brute-force
+// reference solver for testing, and a solution verifier.
+package assign

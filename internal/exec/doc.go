@@ -1,0 +1,15 @@
+// Package exec simulates actually executing a task assignment on the
+// members of a formed VO — the paper's final step ("Map and execute
+// program T on VO C_k", Algorithm 1 line 15) that its evaluation assumes
+// always succeeds. The simulator makes the assumption testable: GSPs
+// process their assigned tasks sequentially (the paper's single-machine
+// abstraction), may renege mid-execution (the unreliable-provider
+// behaviour that motivates trust in the first place), and surviving
+// members pick up the orphaned work under a rescheduling policy.
+//
+// The engine is discrete-event: a binary heap orders task completions and
+// provider failures on a shared virtual clock. Output is a Report with the
+// makespan, deadline verdict, per-GSP utilisation, and per-provider
+// delivery outcomes in exactly the shape trust.History consumes — closing
+// the loop from execution behaviour back to direct trust.
+package exec

@@ -1,10 +1,3 @@
-// Package grid models the Grid Service Providers and generates the
-// simulation parameters of Table I of the paper: GSP speeds, execution-time
-// matrices, Braun-style cost matrices, deadlines and payments.
-//
-// Conventions: matrices are indexed [gsp][task] to match the paper's
-// t(T, G) = w(T)/s(G) presentation transposed into row-per-provider form,
-// which is how the assignment solver consumes them.
 package grid
 
 import (

@@ -1,0 +1,11 @@
+// Package matrix implements the small dense linear-algebra kernel used by
+// the reputation subsystem: row-major float64 matrices, vector operations,
+// norms, and the transpose-times-vector product at the heart of the power
+// method (Algorithm 2 of the paper).
+//
+// The package is deliberately minimal — trust matrices in the VO formation
+// problem are m×m with m on the order of tens (the paper uses m = 16), so
+// clarity and exact reproducibility beat blocked or parallel kernels. All
+// operations are deterministic (no data-dependent reordering of floating
+// point sums beyond natural row order).
+package matrix

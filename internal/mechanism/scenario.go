@@ -1,10 +1,3 @@
-// Package mechanism implements the paper's VO formation mechanisms:
-// TVOF (Algorithm 1, trust-based eviction) and the RVOF baseline (random
-// eviction), plus the ablation variants that swap the eviction rule for
-// other centrality measures. A mechanism run consumes a Scenario — the
-// program, the GSPs with their cost/time matrices, the deadline and
-// payment, and the trust graph — and produces a full iteration trace from
-// which every figure of the paper's evaluation can be regenerated.
 package mechanism
 
 import (

@@ -1,0 +1,137 @@
+package mechanism
+
+import (
+	"fmt"
+
+	"gridvo/internal/grid"
+	"gridvo/internal/trust"
+	"gridvo/internal/workload"
+	"gridvo/internal/xrand"
+)
+
+// GSPSpec describes one provider in a ScenarioSpec: a display name and the
+// aggregate speed s(G) of Section II-A.
+type GSPSpec struct {
+	Name        string  `json:"name"`
+	SpeedGFLOPS float64 `json:"speed_gflops"`
+}
+
+// ScenarioSpec is the portable JSON description of a Scenario — the wire
+// format shared by cmd/tvof scenario files and the gridvod HTTP API. It
+// carries the user request (tasks, deadline d, payment P), the providers,
+// the trust graph in sparse edge-list form, and optionally an explicit cost
+// matrix; when Cost is omitted, Build generates a Braun-style matrix from
+// the seed (the Table I procedure).
+type ScenarioSpec struct {
+	GSPs     []GSPSpec    `json:"gsps"`
+	Tasks    []float64    `json:"tasks"`
+	Deadline float64      `json:"deadline"`
+	Payment  float64      `json:"payment"`
+	Trust    *trust.Graph `json:"trust"`
+	Cost     [][]float64  `json:"cost,omitempty"`
+}
+
+// Validate checks the spec's internal consistency without building the
+// scenario, so API layers can reject bad requests before any generation
+// work. Build repeats the full Scenario.Validate afterwards.
+func (sp *ScenarioSpec) Validate() error {
+	m := len(sp.GSPs)
+	if m == 0 {
+		return fmt.Errorf("mechanism: scenario spec has no GSPs")
+	}
+	if len(sp.Tasks) == 0 {
+		return fmt.Errorf("mechanism: scenario spec has no tasks")
+	}
+	for i, g := range sp.GSPs {
+		if g.SpeedGFLOPS <= 0 {
+			return fmt.Errorf("mechanism: GSP %d (%s) has non-positive speed %v", i, g.Name, g.SpeedGFLOPS)
+		}
+	}
+	for j, w := range sp.Tasks {
+		if w <= 0 {
+			return fmt.Errorf("mechanism: task %d has non-positive workload %v", j, w)
+		}
+	}
+	if sp.Trust == nil {
+		return fmt.Errorf("mechanism: scenario spec has no trust graph")
+	}
+	if sp.Trust.N() != m {
+		return fmt.Errorf("mechanism: trust graph over %d GSPs, spec has %d", sp.Trust.N(), m)
+	}
+	if sp.Cost != nil {
+		if len(sp.Cost) != m {
+			return fmt.Errorf("mechanism: cost matrix has %d rows for %d GSPs", len(sp.Cost), m)
+		}
+		for i, row := range sp.Cost {
+			if len(row) != len(sp.Tasks) {
+				return fmt.Errorf("mechanism: cost row %d has %d columns for %d tasks", i, len(row), len(sp.Tasks))
+			}
+		}
+	}
+	if sp.Deadline <= 0 {
+		return fmt.Errorf("mechanism: non-positive deadline %v", sp.Deadline)
+	}
+	if sp.Payment <= 0 {
+		return fmt.Errorf("mechanism: non-positive payment %v", sp.Payment)
+	}
+	return nil
+}
+
+// Build materializes the spec into a runnable Scenario: GSPs with default
+// names filled in, the time matrix t(T,G) = w(T)/s(G), and — when Cost is
+// omitted — a Braun-style cost matrix generated deterministically from the
+// seed. The returned scenario passes Scenario.Validate.
+func (sp *ScenarioSpec) Build(seed uint64) (*Scenario, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	m := len(sp.GSPs)
+	gsps := make([]grid.GSP, m)
+	for i, g := range sp.GSPs {
+		name := g.Name
+		if name == "" {
+			name = fmt.Sprintf("G%d", i)
+		}
+		gsps[i] = grid.GSP{ID: i, Name: name, SpeedGFLOPS: g.SpeedGFLOPS}
+	}
+	prog := &workload.Program{Name: "spec", Tasks: append([]float64(nil), sp.Tasks...)}
+	cost := sp.Cost
+	if cost == nil {
+		cost = grid.CostMatrix(xrand.New(seed).Split("cost"), m, prog)
+	}
+	sc := &Scenario{
+		Program:  prog,
+		GSPs:     gsps,
+		Cost:     cost,
+		Time:     grid.TimeMatrix(gsps, prog),
+		Deadline: sp.Deadline,
+		Payment:  sp.Payment,
+		Trust:    sp.Trust,
+	}
+	return sc, sc.Validate()
+}
+
+// SampleSpec returns a small 4-GSP, 12-task spec generated from the seed —
+// the template cmd/tvof prints with -sample and the API documentation's
+// default scenario.
+func SampleSpec(seed uint64) *ScenarioSpec {
+	rng := xrand.New(seed)
+	tg := trust.ErdosRenyi(rng.Split("trust"), 4, 0.5)
+	trust.EnsureEveryNodeTrusted(rng.Split("fix"), tg)
+	sp := &ScenarioSpec{
+		GSPs: []GSPSpec{
+			{Name: "alpha", SpeedGFLOPS: 160},
+			{Name: "beta", SpeedGFLOPS: 240},
+			{Name: "gamma", SpeedGFLOPS: 320},
+			{Name: "delta", SpeedGFLOPS: 480},
+		},
+		Tasks:    make([]float64, 12),
+		Deadline: 2000,
+		Payment:  6000,
+		Trust:    tg,
+	}
+	for i := range sp.Tasks {
+		sp.Tasks[i] = rng.Uniform(20000, 40000)
+	}
+	return sp
+}

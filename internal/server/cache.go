@@ -1,0 +1,152 @@
+package server
+
+import (
+	"container/list"
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"gridvo/internal/mechanism"
+)
+
+// engineEntry pairs a scenario with its solve engine. The engine's cache
+// keys coalitions by membership only, so the entry must pin the exact
+// scenario the engine was built for.
+type engineEntry struct {
+	sc  *mechanism.Scenario
+	eng *mechanism.Engine
+}
+
+// engineCache is a bounded LRU of per-scenario solve engines keyed by
+// scenario content hash. Identical /v1/vo/form requests resolve to the
+// same engine, so the second request's coalition solves are all cache
+// hits; the LRU bound keeps a long-lived server from accumulating one
+// engine (and its solution cache) per distinct scenario ever seen.
+type engineCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used; element value = *cacheItem
+	items map[uint64]*list.Element
+}
+
+type cacheItem struct {
+	key uint64
+	ent engineEntry
+}
+
+func newEngineCache(capacity int) *engineCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &engineCache{cap: capacity, ll: list.New(), items: map[uint64]*list.Element{}}
+}
+
+// get returns the entry for key, marking it most recently used.
+func (c *engineCache) get(key uint64) (engineEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return engineEntry{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).ent, true
+}
+
+// add inserts an entry, evicting the least recently used one past capacity.
+// An existing entry for the key is replaced.
+func (c *engineCache) add(key uint64, ent engineEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheItem).ent = ent
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheItem{key: key, ent: ent})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*cacheItem).key)
+	}
+}
+
+// len reports the number of live engines.
+func (c *engineCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// scenarioKey hashes the solve-relevant content of a scenario (speeds,
+// workloads, cost matrix, deadline, payment, trust edges) with FNV-1a so
+// identical requests map to the same engine. The time matrix is derived
+// from speeds and workloads and needs no separate hashing.
+func scenarioKey(sc *mechanism.Scenario) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	wf := func(f float64) { w64(math.Float64bits(f)) }
+	w64(uint64(sc.M()))
+	w64(uint64(sc.N()))
+	for _, g := range sc.GSPs {
+		wf(g.SpeedGFLOPS)
+	}
+	for _, w := range sc.Program.Tasks {
+		wf(w)
+	}
+	for _, row := range sc.Cost {
+		for _, v := range row {
+			wf(v)
+		}
+	}
+	wf(sc.Deadline)
+	wf(sc.Payment)
+	for _, e := range sc.Trust.Edges() {
+		w64(uint64(e.From))
+		w64(uint64(e.To))
+		wf(e.Weight)
+	}
+	return h.Sum64()
+}
+
+// scenarioEqual verifies a key hit against the cached scenario's actual
+// content, so a 64-bit hash collision degrades to a cache miss instead of
+// serving solutions from the wrong scenario.
+func scenarioEqual(a, b *mechanism.Scenario) bool {
+	if a.M() != b.M() || a.N() != b.N() ||
+		a.Deadline != b.Deadline || a.Payment != b.Payment {
+		return false
+	}
+	for i := range a.GSPs {
+		if a.GSPs[i].SpeedGFLOPS != b.GSPs[i].SpeedGFLOPS {
+			return false
+		}
+	}
+	for j := range a.Program.Tasks {
+		if a.Program.Tasks[j] != b.Program.Tasks[j] {
+			return false
+		}
+	}
+	for i := range a.Cost {
+		for j := range a.Cost[i] {
+			if a.Cost[i][j] != b.Cost[i][j] {
+				return false
+			}
+		}
+	}
+	ae, be := a.Trust.Edges(), b.Trust.Edges()
+	if len(ae) != len(be) {
+		return false
+	}
+	for i := range ae {
+		if ae[i] != be[i] {
+			return false
+		}
+	}
+	return true
+}

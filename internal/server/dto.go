@@ -1,0 +1,205 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"gridvo/internal/assign"
+	"gridvo/internal/mechanism"
+	"gridvo/internal/reputation"
+	"gridvo/internal/trust"
+)
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// ReputationRequest asks for the global reputation vector (eq. 6) of a
+// trust graph, supplied in sparse edge-list form:
+//
+//	{"trust": {"n": 4, "edges": [{"from":0,"to":1,"weight":0.8}, ...]},
+//	 "epsilon": 1e-9, "max_iter": 10000, "damping": 0}
+//
+// Zero values select the mechanism defaults (Algorithm 2's stopping rule,
+// uniform dangling fix, no damping).
+type ReputationRequest struct {
+	Trust   *trust.Graph `json:"trust"`
+	Epsilon float64      `json:"epsilon,omitempty"`
+	MaxIter int          `json:"max_iter,omitempty"`
+	Damping float64      `json:"damping,omitempty"`
+}
+
+// Validate rejects requests the power method cannot run on.
+func (r *ReputationRequest) Validate() error {
+	if r.Trust == nil || r.Trust.N() == 0 {
+		return fmt.Errorf("request has no trust graph (want {\"trust\": {\"n\": ..., \"edges\": [...]}})")
+	}
+	if r.Epsilon < 0 {
+		return fmt.Errorf("negative epsilon %v", r.Epsilon)
+	}
+	if r.MaxIter < 0 {
+		return fmt.Errorf("negative max_iter %d", r.MaxIter)
+	}
+	if r.Damping < 0 || r.Damping >= 1 {
+		return fmt.Errorf("damping %v outside [0,1)", r.Damping)
+	}
+	return nil
+}
+
+// Options converts the request to reputation power-method options.
+func (r *ReputationRequest) Options() reputation.Options {
+	return reputation.Options{
+		Epsilon:         r.Epsilon,
+		MaxIter:         r.MaxIter,
+		Damping:         r.Damping,
+		DanglingUniform: true,
+	}
+}
+
+// ReputationResponse carries the global reputation vector and the power
+// iteration's diagnostics.
+type ReputationResponse struct {
+	// Scores is the L1-normalized global reputation vector x, one entry
+	// per GSP.
+	Scores []float64 `json:"scores"`
+	// Iterations, Delta, Converged describe how Algorithm 2 stopped.
+	Iterations int     `json:"iterations"`
+	Delta      float64 `json:"delta"`
+	Converged  bool    `json:"converged"`
+	// Dangling lists GSPs with no outgoing trust (patched uniformly).
+	Dangling []int `json:"dangling,omitempty"`
+}
+
+// FormRequest asks for one VO formation run on a scenario.
+type FormRequest struct {
+	// Scenario is the problem instance, in the same JSON schema cmd/tvof
+	// reads (mechanism.ScenarioSpec).
+	Scenario mechanism.ScenarioSpec `json:"scenario"`
+	// Rule selects the mechanism: "tvof" (default) or "rvof".
+	Rule string `json:"rule,omitempty"`
+	// Seed drives tie-breaking, random eviction, and generated costs.
+	Seed uint64 `json:"seed,omitempty"`
+	// TimeoutMS bounds the solve wall clock for this request; 0 uses the
+	// server default. On expiry the reply is 504 with partial=true.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// IncludeIterations returns the full eviction trace, not just the
+	// selected VO.
+	IncludeIterations bool `json:"include_iterations,omitempty"`
+}
+
+// FormIteration is one row of the eviction trace (IterationRecord over the
+// wire).
+type FormIteration struct {
+	Members       []int   `json:"members"`
+	Feasible      bool    `json:"feasible"`
+	Cost          float64 `json:"cost"`
+	Payoff        float64 `json:"payoff"`
+	AvgReputation float64 `json:"avg_reputation"`
+	Evicted       int     `json:"evicted"`
+}
+
+// EngineStatsJSON reports solver-engine activity for one request.
+type EngineStatsJSON struct {
+	Solves    int64   `json:"solves"`
+	CacheHits int64   `json:"cache_hits"`
+	HitRate   float64 `json:"hit_rate"`
+	Nodes     int64   `json:"nodes"`
+	SolverMS  float64 `json:"solver_ms"`
+}
+
+func engineStatsJSON(s mechanism.EngineStats) EngineStatsJSON {
+	return EngineStatsJSON{
+		Solves:    s.Solves,
+		CacheHits: s.CacheHits,
+		HitRate:   s.HitRate(),
+		Nodes:     s.Nodes,
+		SolverMS:  float64(s.WallTime) / float64(time.Millisecond),
+	}
+}
+
+// FormResponse is the outcome of a VO formation run.
+type FormResponse struct {
+	Rule string `json:"rule"`
+	// Feasible reports whether any feasible VO was found; when false the
+	// selected-VO fields are absent.
+	Feasible bool `json:"feasible"`
+	// Members / MemberNames identify the selected VO by global GSP index
+	// and display name.
+	Members     []int    `json:"members,omitempty"`
+	MemberNames []string `json:"member_names,omitempty"`
+	// Payoff (eq. 18), Value (eq. 15), Cost, and AvgReputation (eq. 7) of
+	// the selected VO; zero when no feasible VO exists.
+	Payoff        float64 `json:"payoff"`
+	Value         float64 `json:"value"`
+	Cost          float64 `json:"cost"`
+	AvgReputation float64 `json:"avg_reputation"`
+	// Assignment maps task index to the global GSP index executing it.
+	Assignment []int `json:"assignment,omitempty"`
+	// GlobalReputation is the grand coalition's reputation vector.
+	GlobalReputation []float64 `json:"global_reputation"`
+	// Iterations is the full eviction trace (include_iterations only).
+	Iterations []FormIteration `json:"iterations,omitempty"`
+	// Partial reports that the request deadline expired mid-run: the
+	// result uses best heuristic incumbents and is not proven optimal.
+	Partial bool `json:"partial"`
+	// Engine reports this run's fresh solves vs cache hits.
+	Engine     EngineStatsJSON `json:"engine"`
+	DurationMS float64         `json:"duration_ms"`
+}
+
+// AssignRequest asks for a single coalition assignment solve — the integer
+// program (9)-(14) on explicit cost/time matrices, without the mechanism
+// loop around it.
+type AssignRequest struct {
+	// Cost[i][j] / Time[i][j] are c(T_j,G_i) and t(T_j,G_i), row-per-GSP.
+	Cost [][]float64 `json:"cost"`
+	Time [][]float64 `json:"time"`
+	// Deadline d (constraint 11) and optional Budget P (constraint 10;
+	// 0 = unconstrained).
+	Deadline float64 `json:"deadline"`
+	Budget   float64 `json:"budget,omitempty"`
+	// NodeBudget truncates the branch-and-bound search (0 = server
+	// default).
+	NodeBudget int64 `json:"node_budget,omitempty"`
+	// TimeoutMS bounds the solve wall clock; see FormRequest.TimeoutMS.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Instance converts the request to a solver instance.
+func (r *AssignRequest) Instance() *assign.Instance {
+	return &assign.Instance{Cost: r.Cost, Time: r.Time, Deadline: r.Deadline, Budget: r.Budget}
+}
+
+// Validate rejects structurally broken instances before solving.
+func (r *AssignRequest) Validate() error {
+	if len(r.Cost) == 0 {
+		return fmt.Errorf("empty instance: no cost rows")
+	}
+	if len(r.Cost[0]) == 0 {
+		return fmt.Errorf("empty instance: no tasks")
+	}
+	return r.Instance().Validate()
+}
+
+// AssignResponse is the outcome of one assignment solve.
+type AssignResponse struct {
+	Feasible bool `json:"feasible"`
+	// Assign maps task j to the row index of the GSP executing it.
+	Assign []int   `json:"assign,omitempty"`
+	Cost   float64 `json:"cost,omitempty"`
+	// Optimal is the branch-and-bound certificate; Gap quantifies the
+	// remaining relative optimality gap when the search was truncated.
+	Optimal    bool    `json:"optimal"`
+	LowerBound float64 `json:"lower_bound"`
+	Gap        float64 `json:"gap"`
+	Nodes      int64   `json:"nodes"`
+	// Partial reports that the request deadline expired mid-search.
+	Partial    bool    `json:"partial"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status string `json:"status"`
+}

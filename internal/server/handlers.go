@@ -1,0 +1,182 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"gridvo"
+	"gridvo/internal/assign"
+	"gridvo/internal/mechanism"
+	"gridvo/internal/reputation"
+)
+
+// handleReputation computes the global reputation vector (eqs. 2-6,
+// Algorithm 2) for a sparse trust graph.
+func (s *Server) handleReputation(w http.ResponseWriter, r *http.Request) {
+	var req ReputationRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	scores, diag, err := reputation.Global(req.Trust, req.Options())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, ReputationResponse{
+		Scores:     scores,
+		Iterations: diag.Iterations,
+		Delta:      diag.Delta,
+		Converged:  diag.Converged,
+		Dangling:   diag.Dangling,
+	})
+}
+
+// engineFor returns the scenario and engine to solve a form request with:
+// the cached pair when the scenario was seen before (so its coalition
+// solutions are reused), else a fresh engine registered in the LRU.
+func (s *Server) engineFor(sc *mechanism.Scenario) (*mechanism.Scenario, *mechanism.Engine) {
+	key := scenarioKey(sc)
+	if ent, ok := s.engines.get(key); ok && scenarioEqual(ent.sc, sc) {
+		return ent.sc, ent.eng
+	}
+	eng := mechanism.NewEngine(sc, s.cfg.Solver)
+	s.engines.add(key, engineEntry{sc: sc, eng: eng})
+	return sc, eng
+}
+
+// handleForm runs one VO formation (Algorithm 1) on a scenario.
+func (s *Server) handleForm(w http.ResponseWriter, r *http.Request) {
+	var req FormRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	var rule gridvo.Rule
+	switch req.Rule {
+	case "", "tvof":
+		rule = gridvo.TVOF
+	case "rvof":
+		rule = gridvo.RVOF
+	default:
+		writeError(w, http.StatusBadRequest, "unknown rule "+req.Rule+" (want tvof or rvof)")
+		return
+	}
+	sc, err := req.Scenario.Build(req.Seed)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sc, eng := s.engineFor(sc)
+
+	ctx, cancel := s.solveContext(r, req.TimeoutMS)
+	defer cancel()
+	start := time.Now()
+	res, err := gridvo.FormVOEngine(ctx, eng, rule, req.Seed)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.metrics.addEngine(res.Stats)
+
+	partial := ctx.Err() != nil
+	resp := FormResponse{
+		Rule:             res.Rule.String(),
+		GlobalReputation: res.GlobalReputation,
+		Partial:          partial,
+		Engine:           engineStatsJSON(res.Stats),
+		DurationMS:       float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	if final := res.Final(); final != nil {
+		resp.Feasible = true
+		resp.Members = final.Members
+		resp.MemberNames = make([]string, len(final.Members))
+		for i, g := range final.Members {
+			resp.MemberNames[i] = sc.GSPs[g].Name
+		}
+		resp.Payoff = final.Payoff
+		resp.Value = final.Value
+		resp.Cost = final.Cost
+		resp.AvgReputation = final.AvgReputation
+		if final.Assignment != nil {
+			resp.Assignment = make([]int, len(final.Assignment))
+			for j, local := range final.Assignment {
+				resp.Assignment[j] = final.Members[local]
+			}
+		}
+	}
+	if req.IncludeIterations {
+		resp.Iterations = make([]FormIteration, len(res.Iterations))
+		for i := range res.Iterations {
+			rec := &res.Iterations[i]
+			resp.Iterations[i] = FormIteration{
+				Members:       rec.Members,
+				Feasible:      rec.Feasible,
+				Cost:          rec.Cost,
+				Payoff:        rec.Payoff,
+				AvgReputation: rec.AvgReputation,
+				Evicted:       rec.Evicted,
+			}
+		}
+	}
+	status := http.StatusOK
+	if partial {
+		// The budget expired mid-run: the reply still carries the best
+		// incumbents found, but flags them as not proven optimal.
+		status = http.StatusGatewayTimeout
+	}
+	writeJSON(w, status, resp)
+}
+
+// handleAssign solves one coalition assignment IP (eqs. 9-14) directly.
+func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
+	var req AssignRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	opts := s.cfg.Solver
+	if req.NodeBudget > 0 {
+		opts.NodeBudget = req.NodeBudget
+	}
+	ctx, cancel := s.solveContext(r, req.TimeoutMS)
+	defer cancel()
+	start := time.Now()
+	sol := assign.SolveCtx(ctx, req.Instance(), opts)
+	s.metrics.addEngine(mechanism.EngineStats{Solves: 1, Nodes: sol.Stats.Nodes, WallTime: sol.Stats.WallTime})
+
+	partial := sol.Stats.Interrupted() || ctx.Err() != nil
+	resp := AssignResponse{
+		Feasible:   sol.Feasible,
+		Cost:       sol.Cost,
+		Optimal:    sol.Optimal,
+		LowerBound: sol.LowerBound,
+		Gap:        sol.Gap(),
+		Nodes:      sol.Nodes,
+		Partial:    partial,
+		DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	if sol.Feasible {
+		resp.Assign = sol.Assign
+	}
+	status := http.StatusOK
+	if partial {
+		status = http.StatusGatewayTimeout
+	}
+	writeJSON(w, status, resp)
+}
+
+// handleHealthz reports liveness.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+}
+
+// handleMetrics dumps the counter snapshot.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.engines.len()))
+}

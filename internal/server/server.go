@@ -1,0 +1,205 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"gridvo/internal/assign"
+)
+
+// Config parameterizes a Server. The zero value selects sensible defaults
+// for every field.
+type Config struct {
+	// DefaultTimeout is the per-request solve budget applied when a
+	// request carries no timeout_ms; 0 means no default budget.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps any per-request budget (requested or default); 0
+	// selects 60s. Budgets above the cap are clamped, not rejected.
+	MaxTimeout time.Duration
+	// MaxBodyBytes bounds request bodies; oversized requests get 413.
+	// 0 selects 8 MiB.
+	MaxBodyBytes int64
+	// MaxInFlight bounds concurrently served solve requests (healthz and
+	// metrics are exempt); excess requests wait, and get 503 if their
+	// context expires before a slot frees. 0 selects 2×GOMAXPROCS.
+	MaxInFlight int
+	// EngineCacheSize bounds the scenario-engine LRU. 0 selects 64.
+	EngineCacheSize int
+	// Solver configures the branch-and-bound of every engine the server
+	// creates.
+	Solver assign.Options
+}
+
+func (c *Config) fillDefaults() {
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.EngineCacheSize == 0 {
+		c.EngineCacheSize = 64
+	}
+}
+
+// Server is the gridvod HTTP API: VO formation, reputation, and coalition
+// assignment served from the library's solve engines, with per-scenario
+// engine reuse, per-request deadlines, a concurrency limit, and
+// expvar-style metrics. Build one with New and mount Handler, or run
+// ListenAndServe for the full daemon lifecycle.
+type Server struct {
+	cfg     Config
+	metrics *Metrics
+	engines *engineCache
+	sem     chan struct{}
+	mux     *http.ServeMux
+}
+
+// New builds a server with its routes registered.
+func New(cfg Config) *Server {
+	cfg.fillDefaults()
+	s := &Server{
+		cfg:     cfg,
+		metrics: NewMetrics(),
+		engines: newEngineCache(cfg.EngineCacheSize),
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/reputation", s.wrap("/v1/reputation", true, s.handleReputation))
+	s.mux.HandleFunc("POST /v1/vo/form", s.wrap("/v1/vo/form", true, s.handleForm))
+	s.mux.HandleFunc("POST /v1/assign", s.wrap("/v1/assign", true, s.handleAssign))
+	s.mux.HandleFunc("GET /healthz", s.wrap("/healthz", false, s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.wrap("/metrics", false, s.handleMetrics))
+	return s
+}
+
+// Handler returns the routed handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the server's counters (for tests and embedding).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// statusWriter records the status code a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// wrap applies the common middleware: request metrics, the concurrency
+// semaphore (solve endpoints only), and the body-size limit.
+func (s *Server) wrap(route string, limited bool, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.metrics.request(route)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			s.metrics.response(sw.status, time.Since(start))
+		}()
+		if limited {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			case <-r.Context().Done():
+				writeError(sw, http.StatusServiceUnavailable, "server saturated; request cancelled while queued")
+				return
+			}
+			r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
+		}
+		h(sw, r)
+	}
+}
+
+// writeJSON writes a JSON body with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError writes the uniform error body.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: msg})
+}
+
+// decodeJSON parses the request body into dst, translating failure modes
+// to the API's status codes: 413 for oversized bodies, 400 otherwise.
+// It reports whether decoding succeeded; on failure the response has
+// already been written.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(dst); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", maxErr.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// solveContext derives the per-request solve context: the request's
+// timeout_ms when given, else the server default, clamped to MaxTimeout.
+// The request's own context is the parent, so client disconnects cancel
+// in-flight solves too.
+func (s *Server) solveContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if s.cfg.MaxTimeout > 0 && (d <= 0 || d > s.cfg.MaxTimeout) {
+		d = s.cfg.MaxTimeout
+	}
+	if d <= 0 {
+		return context.WithCancel(r.Context())
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// ListenAndServe serves the API on addr until ctx is cancelled, then
+// shuts down gracefully, draining in-flight requests for up to drain
+// (0 = 10s). It returns nil on a clean shutdown.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, drain time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln, drain)
+}
+
+// Serve is ListenAndServe on an existing listener (tests use a :0
+// listener to pick a free port).
+func (s *Server) Serve(ctx context.Context, ln net.Listener, drain time.Duration) error {
+	if drain <= 0 {
+		drain = 10 * time.Second
+	}
+	hs := &http.Server{Handler: s.mux}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		return hs.Shutdown(sctx)
+	}
+}

@@ -1,0 +1,4 @@
+// Package sim is the experiment harness: it generates scenarios with the
+// Table I parameters, replicates mechanism runs over seeds, and produces
+// the series behind every figure of the paper's evaluation (Figs. 1–9).
+package sim

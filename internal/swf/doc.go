@@ -1,0 +1,12 @@
+// Package swf reads and writes the Standard Workload Format (SWF) of the
+// Parallel Workloads Archive — the trace format of the LLNL Atlas log that
+// drives the paper's experiments (Section IV-A) — and generates synthetic
+// traces with the Atlas log's published marginal distributions for
+// environments where the original file is unavailable.
+//
+// The SWF is a line-oriented text format: comment/header lines start with
+// ';', and every data line carries exactly 18 whitespace-separated numeric
+// fields describing one job (see Job for the field list). Missing values
+// are encoded as -1. The format is specified at
+// https://www.cs.huji.ac.il/labs/parallel/workload/swf.html.
+package swf

@@ -1,6 +1,3 @@
-// Package tablewriter renders aligned ASCII tables and CSV, the two output
-// formats of the experiment harness and the cmd/ tools. The ASCII form is
-// what `vosim` prints to the terminal; the CSV form feeds external plotting.
 package tablewriter
 
 import (

@@ -1,20 +1,3 @@
-// Package trust models the trust relationships among Grid Service Providers
-// (GSPs) as a weighted directed graph, exactly as Section II-B of the paper:
-// the weight u_ij of edge (i,j) is the direct trust G_i places in G_j, based
-// on their past interactions; u_ij = 0 means complete distrust (no edge).
-//
-// The package provides:
-//
-//   - Graph: the weighted digraph with node eviction (the operation TVOF
-//     performs every iteration) and induced subgraphs;
-//   - row normalization (eq. 1) producing the matrix A of normalized trust
-//     values consumed by the reputation power method;
-//   - an Erdős–Rényi G(m,p) random generator matching the experimental
-//     setup of Section IV-A;
-//   - History, an interaction recorder that turns observed deliver/fail
-//     outcomes into direct-trust weights, giving the "past interactions"
-//     story of the paper an executable form;
-//   - JSON and Graphviz DOT serialization.
 package trust
 
 import (

@@ -1,0 +1,5 @@
+// Package viz renders simple ASCII charts in the terminal: the `vosim
+// -plot` mode draws each of the paper's figures as a scatter/line chart so
+// trends (TVOF vs RVOF, growth with n) are visible without external
+// plotting tools.
+package viz

@@ -1,15 +1,3 @@
-// Package workload converts SWF trace jobs into the application programs
-// the VO formation mechanism schedules, following Section IV-A of the
-// paper:
-//
-//   - a program is derived from one large completed job of the trace;
-//   - the number of allocated processors of the job gives the number of
-//     tasks n;
-//   - the job's average CPU time (seconds) times the per-processor peak
-//     performance (4.91 GFLOPS for Atlas) gives the maximum task workload
-//     in GFLOP;
-//   - each task's workload is drawn uniformly from [0.5, 1.0] of that
-//     maximum.
 package workload
 
 import (

@@ -1,0 +1,18 @@
+// Package xrand provides a deterministic, splittable pseudo-random number
+// generator used by every stochastic component of gridvo.
+//
+// Reproducibility is a hard requirement for the simulation harness: a whole
+// experiment (trust graph, cost matrices, workloads, tie-breaking inside the
+// mechanisms) must be replayable from a single root seed. The standard
+// library generators are deterministic too, but sharing one generator across
+// components couples their consumption order: adding a single extra draw in
+// one module would silently reshuffle every downstream module. xrand solves
+// this with labeled splits — each component derives an independent stream
+// from (parent seed, label), so streams are stable under code evolution.
+//
+// The core generator is SplitMix64 (Steele, Lea, Flood; JPDC 2014 / the
+// java.util.SplittableRandom construction), a 64-bit mix function with
+// guaranteed period 2^64 per stream and excellent statistical quality for
+// simulation workloads. It is not cryptographically secure and must never be
+// used for security purposes.
+package xrand
