@@ -1,0 +1,268 @@
+// Command benchjson runs a reduced experiment sweep twice — warm-start
+// pipeline on (default) and off (-no-warm-start forced) — and writes a
+// machine-readable before/after comparison to a JSON file. It backs the
+// perf notes in EXPERIMENTS.md: wall time, B&B node counts, warm-start
+// acceptance, and power-method iterations saved, plus a per-point identity
+// check that both configurations select the same VOs.
+//
+// Usage:
+//
+//	benchjson                          # writes BENCH_PR3.json
+//	benchjson -out bench.json -sizes 256,1024 -reps 3 -seed 42
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"gridvo/internal/assign"
+	"gridvo/internal/mechanism"
+	"gridvo/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// pointJSON summarizes one program size of one sweep.
+type pointJSON struct {
+	Size       int       `json:"size"`
+	TVOFPayoff []float64 `json:"tvof_payoff"`
+	TVOFSize   []float64 `json:"tvof_size"`
+	TVOFRep    []float64 `json:"tvof_rep"`
+	// TVOFSec / RVOFSec are per-repetition mechanism wall times (the
+	// Fig. 9 metric) — the per-size before/after comparison.
+	TVOFSec []float64 `json:"tvof_sec"`
+	RVOFSec []float64 `json:"rvof_sec"`
+}
+
+// sideJSON is one sweep (warm or cold) of the comparison.
+type sideJSON struct {
+	Seconds  float64     `json:"seconds"`
+	NsPerRun float64     `json:"ns_per_run"`
+	Runs     int         `json:"runs"`
+	Stats    statsJSON   `json:"engine_stats"`
+	Points   []pointJSON `json:"points"`
+}
+
+// statsJSON flattens mechanism.EngineStats with explicit units.
+type statsJSON struct {
+	Solves               int64   `json:"solves"`
+	CacheHits            int64   `json:"cache_hits"`
+	WarmStarts           int64   `json:"warm_starts"`
+	SeedAccepted         int64   `json:"seed_accepted"`
+	SeedWins             int64   `json:"seed_wins"`
+	WarmStartRate        float64 `json:"warm_start_rate"`
+	Nodes                int64   `json:"nodes"`
+	SolverMS             float64 `json:"solver_ms"`
+	PowerIterations      int64   `json:"power_iterations"`
+	PowerIterationsSaved int64   `json:"power_iterations_saved"`
+}
+
+func toStatsJSON(s mechanism.EngineStats) statsJSON {
+	return statsJSON{
+		Solves:               s.Solves,
+		CacheHits:            s.CacheHits,
+		WarmStarts:           s.WarmStarts,
+		SeedAccepted:         s.SeedAccepted,
+		SeedWins:             s.SeedWins,
+		WarmStartRate:        s.WarmStartRate(),
+		Nodes:                s.Nodes,
+		SolverMS:             float64(s.WallTime) / float64(time.Millisecond),
+		PowerIterations:      s.PowerIterations,
+		PowerIterationsSaved: s.PowerIterationsSaved,
+	}
+}
+
+// reportJSON is the document written to -out.
+type reportJSON struct {
+	Tool  string `json:"tool"`
+	Seed  uint64 `json:"seed"`
+	Sizes []int  `json:"sizes"`
+	Reps  int    `json:"reps"`
+	// Warm is the default pipeline, Cold the same sweep with
+	// NoWarmStart forced.
+	Warm sideJSON `json:"warm"`
+	Cold sideJSON `json:"cold"`
+	// Speedup is cold seconds / warm seconds; NodeReduction is the
+	// fraction of B&B nodes the warm sweep avoided.
+	Speedup       float64 `json:"speedup"`
+	NodeReduction float64 `json:"node_reduction"`
+	// IdenticalSelection reports that every (size, repetition) pair
+	// selected a VO of the same size and average reputation under both
+	// configurations, with warm payoffs never worse.
+	IdenticalSelection bool   `json:"identical_selection"`
+	SelectionNote      string `json:"selection_note,omitempty"`
+	// Fig9Bench, when provided via flags, records externally measured
+	// `go test -bench BenchmarkFig9ExecutionTime` figures comparing the
+	// merge base (before this change) against the current tree.
+	Fig9Bench *fig9JSON `json:"fig9_bench,omitempty"`
+}
+
+// fig9JSON holds externally measured whole-tree benchmark numbers.
+type fig9JSON struct {
+	BaselineNs int64   `json:"baseline_ns_per_op"`
+	CurrentNs  int64   `json:"current_ns_per_op"`
+	Reduction  float64 `json:"wall_time_reduction"`
+	Note       string  `json:"note,omitempty"`
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out       = fs.String("out", "BENCH_PR3.json", "output JSON path")
+		sizesFlag = fs.String("sizes", "256,1024", "comma-separated program sizes")
+		reps      = fs.Int("reps", 3, "repetitions per size")
+		seed      = fs.Uint64("seed", 42, "root seed")
+		traceJobs = fs.Int("trace-jobs", 4000, "synthetic trace size")
+		nodeCap   = fs.Int64("nodes", 0, "branch-and-bound node budget per solve (0 = default)")
+		fig9Base  = fs.Int64("fig9-baseline-ns", 0, "measured BenchmarkFig9 ns/op on the baseline tree (recorded verbatim)")
+		fig9Cur   = fs.Int64("fig9-ns", 0, "measured BenchmarkFig9 ns/op on the current tree (recorded verbatim)")
+		fig9Note  = fs.String("fig9-note", "", "provenance note for the fig9 figures")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sizes, err := parseSizes(*sizesFlag)
+	if err != nil {
+		return err
+	}
+
+	cfg := sim.DefaultConfig(*seed)
+	cfg.ProgramSizes = sizes
+	cfg.Repetitions = *reps
+	cfg.TraceJobs = *traceJobs
+	cfg.Solver = assign.Options{NodeBudget: *nodeCap}
+
+	report := reportJSON{Tool: "benchjson", Seed: *seed, Sizes: sizes, Reps: *reps}
+
+	warmSide, err := sweep(cfg, false)
+	if err != nil {
+		return fmt.Errorf("warm sweep: %w", err)
+	}
+	coldSide, err := sweep(cfg, true)
+	if err != nil {
+		return fmt.Errorf("cold sweep: %w", err)
+	}
+	report.Warm, report.Cold = warmSide, coldSide
+	if warmSide.Seconds > 0 {
+		report.Speedup = coldSide.Seconds / warmSide.Seconds
+	}
+	if coldSide.Stats.Nodes > 0 {
+		report.NodeReduction = 1 - float64(warmSide.Stats.Nodes)/float64(coldSide.Stats.Nodes)
+	}
+	report.IdenticalSelection, report.SelectionNote = compareSelections(warmSide.Points, coldSide.Points)
+	if *fig9Base > 0 && *fig9Cur > 0 {
+		report.Fig9Bench = &fig9JSON{
+			BaselineNs: *fig9Base,
+			CurrentNs:  *fig9Cur,
+			Reduction:  1 - float64(*fig9Cur)/float64(*fig9Base),
+			Note:       *fig9Note,
+		}
+	}
+
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s: speedup %.3fx, node reduction %.1f%%, warm-start rate %.1f%%, %d power iterations saved\n",
+		*out, report.Speedup, 100*report.NodeReduction, 100*warmSide.Stats.WarmStartRate, warmSide.Stats.PowerIterationsSaved)
+	return nil
+}
+
+// sweep runs the configured experiment grid once and packages the result.
+func sweep(cfg sim.Config, noWarmStart bool) (sideJSON, error) {
+	cfg.Mechanism.NoWarmStart = noWarmStart
+	env, err := sim.NewEnv(cfg)
+	if err != nil {
+		return sideJSON{}, err
+	}
+	start := time.Now()
+	res, err := env.Sweep(nil)
+	if err != nil {
+		return sideJSON{}, err
+	}
+	elapsed := time.Since(start)
+	side := sideJSON{
+		Seconds: elapsed.Seconds(),
+		Runs:    len(cfg.ProgramSizes) * cfg.Repetitions,
+		Stats:   toStatsJSON(res.Stats),
+	}
+	if side.Runs > 0 {
+		side.NsPerRun = float64(elapsed.Nanoseconds()) / float64(side.Runs)
+	}
+	for _, pt := range res.Points {
+		side.Points = append(side.Points, pointJSON{
+			Size:       pt.Size,
+			TVOFPayoff: pt.TVOFPayoff,
+			TVOFSize:   pt.TVOFSize,
+			TVOFRep:    pt.TVOFRep,
+			TVOFSec:    pt.TVOFSec,
+			RVOFSec:    pt.RVOFSec,
+		})
+	}
+	return side, nil
+}
+
+// compareSelections verifies the warm and cold sweeps selected the same
+// VOs: identical sizes and average reputations at every point (evictions
+// are reputation-driven and unaffected by seeding), with warm payoffs
+// never worse than cold (seeds can improve truncated searches, never hurt
+// them).
+func compareSelections(warm, cold []pointJSON) (bool, string) {
+	if len(warm) != len(cold) {
+		return false, fmt.Sprintf("point counts differ: %d vs %d", len(warm), len(cold))
+	}
+	for i := range warm {
+		w, c := warm[i], cold[i]
+		if w.Size != c.Size || len(w.TVOFSize) != len(c.TVOFSize) {
+			return false, fmt.Sprintf("shape mismatch at point %d", i)
+		}
+		for r := range w.TVOFSize {
+			if w.TVOFSize[r] != c.TVOFSize[r] {
+				return false, fmt.Sprintf("n=%d rep=%d: VO size %v vs %v", w.Size, r, w.TVOFSize[r], c.TVOFSize[r])
+			}
+			if math.Abs(w.TVOFRep[r]-c.TVOFRep[r]) > 1e-9 {
+				return false, fmt.Sprintf("n=%d rep=%d: VO reputation %v vs %v", w.Size, r, w.TVOFRep[r], c.TVOFRep[r])
+			}
+			if w.TVOFPayoff[r] < c.TVOFPayoff[r]-assign.Eps {
+				return false, fmt.Sprintf("n=%d rep=%d: warm payoff %v worse than cold %v", w.Size, r, w.TVOFPayoff[r], c.TVOFPayoff[r])
+			}
+		}
+	}
+	return true, ""
+}
+
+func parseSizes(s string) ([]int, error) {
+	var sizes []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad size %q", part)
+		}
+		sizes = append(sizes, n)
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("no sizes given")
+	}
+	return sizes, nil
+}

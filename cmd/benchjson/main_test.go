@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunWritesComparableReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-out", out, "-sizes", "32,64", "-reps", "2", "-trace-jobs", "500", "-seed", "7"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report reportJSON
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("output not JSON: %v\n%s", err, data)
+	}
+	if !report.IdenticalSelection {
+		t.Fatalf("warm and cold sweeps diverged: %s", report.SelectionNote)
+	}
+	if report.Warm.Stats.WarmStarts == 0 || report.Cold.Stats.WarmStarts != 0 {
+		t.Fatalf("warm-start counters off: warm %+v cold %+v", report.Warm.Stats, report.Cold.Stats)
+	}
+	if report.Warm.Stats.Nodes > report.Cold.Stats.Nodes {
+		t.Fatalf("warm sweep explored more nodes (%d) than cold (%d)", report.Warm.Stats.Nodes, report.Cold.Stats.Nodes)
+	}
+	if report.Warm.Seconds <= 0 || report.Cold.Seconds <= 0 || report.Speedup <= 0 {
+		t.Fatalf("timing fields missing: %+v", report)
+	}
+	if len(report.Warm.Points) != 2 || report.Warm.Runs != 4 {
+		t.Fatalf("sweep shape off: %+v", report.Warm)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-sizes", "zero"}, &stdout, &stderr); err == nil {
+		t.Fatal("bad -sizes accepted")
+	}
+	if err := run([]string{"-sizes", ""}, &stdout, &stderr); err == nil {
+		t.Fatal("empty -sizes accepted")
+	}
+}

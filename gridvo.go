@@ -51,8 +51,10 @@ type Result = mechanism.Result
 type IterationRecord = mechanism.IterationRecord
 
 // EngineStats summarizes solver-engine activity for a run or sweep: fresh
-// IP solves, cache hits (solves avoided), branch-and-bound nodes, solver
-// wall time. Result.Stats carries the per-run values.
+// IP solves, cache hits (solves avoided), warm starts (solves seeded from
+// a parent coalition's cached solution), branch-and-bound nodes, solver
+// wall time, and power-method iterations (with the count saved by
+// eigenvector warm starts). Result.Stats carries the per-run values.
 type EngineStats = mechanism.EngineStats
 
 // SweepResult is the size × repetition grid produced by Experiment.Sweep.

@@ -22,6 +22,17 @@ type Options struct {
 	// context-cancellation checks; zero selects DefaultCtxCheckEvery.
 	// Tests use small values to cancel at precise points.
 	CtxCheckEvery int64
+	// SeedAssign, when non-nil, is a warm-start hint of length NumTasks:
+	// entries are instance-local GSP indices, with -1 (or any
+	// out-of-range value) marking tasks whose previous executor is gone —
+	// the shape a parent coalition's solution takes after an eviction.
+	// The solver repairs the hint (reassigns orphaned tasks, restores
+	// coverage, local-searches) and installs the result as the initial
+	// incumbent when it is feasible and beats the constructive
+	// heuristics. Seeds only ever tighten the incumbent — they never
+	// affect lower bounds — so they cannot worsen the returned solution.
+	// The slice is read, never modified or retained.
+	SeedAssign []int
 }
 
 // DefaultNodeBudget bounds the search on large instances. A node costs
@@ -97,10 +108,16 @@ func SolveCtx(ctx context.Context, in *Instance, opts Options) Solution {
 
 	if s.bestAssign != nil {
 		sol.Feasible = true
-		sol.Cost = s.bestCost
+		// Canonical cost: recompute in task-index order so the reported
+		// figure does not depend on which incumbent (heuristic, seed, or
+		// tree search, each summing in a different order) happened to win
+		// — warm- and cold-started solves that find the same assignment
+		// report bit-identical costs.
+		sol.Cost = TotalCost(in, s.bestAssign)
 		sol.Assign = append([]int(nil), s.bestAssign...)
 	}
 	s.fill(&sol)
+	s.release()
 	sol.Optimal = !s.aborted
 	if sol.Feasible && sol.Cost <= sol.LowerBound+Eps {
 		// Incumbent meets the global lower bound: optimal regardless of
@@ -132,29 +149,42 @@ func newSearcher(ctx context.Context, in *Instance, opts Options, budget int64, 
 	}
 }
 
-// seedIncumbents warms the searcher with heuristic assignments.
+// seedIncumbents warms the searcher with heuristic assignments and, when
+// Options.SeedAssign is set, the repaired warm-start seed. Heuristics run
+// first so the seed counters can report whether inherited incumbents beat
+// them.
 func seedIncumbents(in *Instance, opts Options, s *searcher) {
-	if opts.DisableHeuristics {
-		return
-	}
-	n := in.NumTasks()
-	candidates := []Heuristic{HeuristicGreedyCost, HeuristicMCT}
-	if n <= 1024 {
-		candidates = append(candidates, HeuristicMinMin, HeuristicSufferage)
-	}
-	for _, h := range candidates {
-		a := RunHeuristic(in, h)
-		if a == nil {
-			continue
+	if !opts.DisableHeuristics {
+		n := in.NumTasks()
+		candidates := []Heuristic{HeuristicGreedyCost, HeuristicMCT}
+		if n <= 1024 {
+			candidates = append(candidates, HeuristicMinMin, HeuristicSufferage)
 		}
-		LocalSearch(in, a, opts.LocalSearchPasses)
-		if Verify(in, a) != nil {
-			continue
+		for _, h := range candidates {
+			a := RunHeuristic(in, h)
+			if a == nil {
+				continue
+			}
+			LocalSearch(in, a, opts.LocalSearchPasses)
+			if Verify(in, a) != nil {
+				continue
+			}
+			if c := TotalCost(in, a); c < s.bestCost {
+				s.bestCost = c
+				s.bestAssign = append(s.bestAssign[:0], a...)
+				s.incumbents++
+			}
 		}
-		if c := TotalCost(in, a); c < s.bestCost {
-			s.bestCost = c
-			s.bestAssign = append(s.bestAssign[:0], a...)
-			s.incumbents++
+	}
+	if opts.SeedAssign != nil {
+		if a := repairSeed(in, opts.SeedAssign, opts.LocalSearchPasses); a != nil {
+			s.seedAccepted = 1
+			if c := TotalCost(in, a); c < s.bestCost {
+				s.bestCost = c
+				s.bestAssign = append(s.bestAssign[:0], a...)
+				s.incumbents++
+				s.seedWins = 1
+			}
 		}
 	}
 }
@@ -191,6 +221,12 @@ type searcher struct {
 	prunedDeadline int64
 	prunedBudget   int64
 	incumbents     int64
+	seedAccepted   int64
+	seedWins       int64
+
+	// scratch is the pooled buffer set backing the slices above; release()
+	// returns it once the solve no longer references them.
+	scratch *searchScratch
 
 	// rootOnly, when >= 0, restricts the first branching task to that
 	// GSP — SolveParallel's disjoint root split. Constructors must set
@@ -208,25 +244,36 @@ func (s *searcher) fill(sol *Solution) {
 	sol.Stats.PrunedByDeadline += s.prunedDeadline
 	sol.Stats.PrunedByBudget += s.prunedBudget
 	sol.Stats.IncumbentUpdates += s.incumbents
+	sol.Stats.SeedAccepted += s.seedAccepted
+	sol.Stats.SeedWins += s.seedWins
 }
 
 func (s *searcher) prepare() {
 	in := s.in
-	s.order = make([]int, s.n)
+	sc := scratchPool.Get().(*searchScratch)
+	s.scratch = sc
+	s.order = growInts(&sc.order, s.n)
 	for j := range s.order {
 		s.order[j] = j
 	}
 	// Branch on hard (long) tasks first: they constrain the deadline
 	// most, failing early instead of deep.
-	maxT := make([]float64, s.n)
+	maxT := growFloats(&sc.maxT, s.n)
 	for j := 0; j < s.n; j++ {
 		maxT[j] = maxTime(in, j)
 	}
 	sort.SliceStable(s.order, func(a, b int) bool { return maxT[s.order[a]] > maxT[s.order[b]] })
 
-	s.gspOrder = make([][]int, s.n)
+	// gspOrder rows share one flat backing array (better locality, one
+	// allocation). Every row is reset to the identity permutation before
+	// sorting so pooled leftovers cannot perturb the stable sort.
+	flat := growInts(&sc.gspFlat, s.n*s.k)
+	if cap(sc.gspRows) < s.n {
+		sc.gspRows = make([][]int, s.n)
+	}
+	s.gspOrder = sc.gspRows[:s.n]
 	for pos, t := range s.order {
-		gs := make([]int, s.k)
+		gs := flat[pos*s.k : (pos+1)*s.k : (pos+1)*s.k]
 		for g := range gs {
 			gs[g] = g
 		}
@@ -234,7 +281,8 @@ func (s *searcher) prepare() {
 		s.gspOrder[pos] = gs
 	}
 
-	s.sufMin = make([]float64, s.n+1)
+	s.sufMin = growFloats(&sc.sufMin, s.n+1)
+	s.sufMin[s.n] = 0
 	for pos := s.n - 1; pos >= 0; pos-- {
 		t := s.order[pos]
 		m := in.Cost[0][t]
@@ -246,10 +294,26 @@ func (s *searcher) prepare() {
 		s.sufMin[pos] = s.sufMin[pos+1] + m
 	}
 
-	s.load = make([]float64, s.k)
-	s.count = make([]int, s.k)
+	s.load = growFloats(&sc.load, s.k)
+	s.count = growInts(&sc.count, s.k)
+	for g := 0; g < s.k; g++ {
+		s.load[g] = 0
+		s.count[g] = 0
+	}
 	s.uncovered = s.k
-	s.assign = make([]int, s.n)
+	s.assign = growInts(&sc.assign, s.n)
+}
+
+// release returns the pooled scratch buffers. The searcher's slice views
+// are nilled so a use-after-release fails loudly instead of corrupting a
+// concurrent solve; bestAssign is not pooled and stays valid.
+func (s *searcher) release() {
+	if s.scratch == nil {
+		return
+	}
+	s.order, s.gspOrder, s.sufMin, s.load, s.count, s.assign = nil, nil, nil, nil, nil, nil
+	scratchPool.Put(s.scratch)
+	s.scratch = nil
 }
 
 func (s *searcher) dfs(pos int, costSoFar float64) {

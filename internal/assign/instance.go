@@ -94,6 +94,13 @@ type Stats struct {
 	// IncumbentUpdates counts strict improvements of the best feasible
 	// assignment, heuristic seeds included.
 	IncumbentUpdates int64
+	// SeedAccepted counts Options.SeedAssign hints repaired into a
+	// feasible assignment (at most one per solve).
+	SeedAccepted int64
+	// SeedWins counts accepted seeds that strictly beat every
+	// constructive heuristic, becoming the initial incumbent (at most one
+	// per solve; always ≤ SeedAccepted).
+	SeedWins int64
 	// WallTime is the wall-clock duration of the solve.
 	WallTime time.Duration
 }

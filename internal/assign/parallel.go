@@ -72,10 +72,12 @@ func SolveParallelCtx(ctx context.Context, in *Instance, opts Options, workers i
 		// Already cancelled: skip the subtree searches entirely.
 		if incumbentAssign != nil {
 			sol.Feasible = true
-			sol.Cost = incumbentCost
+			sol.Cost = TotalCost(in, incumbentAssign)
 			sol.Assign = append([]int(nil), incumbentAssign...)
 		}
 		sol.Stats.IncumbentUpdates = seed.incumbents
+		sol.Stats.SeedAccepted = seed.seedAccepted
+		sol.Stats.SeedWins = seed.seedWins
 		sol.Stats.PrunedByDeadline = 1
 		sol.Optimal = sol.Feasible && sol.Cost <= sol.LowerBound+Eps
 		sol.Stats.WallTime = time.Since(start)
@@ -100,6 +102,7 @@ func SolveParallelCtx(ctx context.Context, in *Instance, opts Options, workers i
 			}
 			s.prepare()
 			s.dfs(0, 0)
+			s.release() // counters and bestAssign stay valid
 			results[root] = s
 		}(g)
 	}
@@ -109,6 +112,8 @@ func SolveParallelCtx(ctx context.Context, in *Instance, opts Options, workers i
 	bestAssign := incumbentAssign
 	allComplete := true
 	sol.Stats.IncumbentUpdates = seed.incumbents
+	sol.Stats.SeedAccepted = seed.seedAccepted
+	sol.Stats.SeedWins = seed.seedWins
 	for _, s := range results {
 		s.fill(&sol)
 		if s.aborted {
@@ -121,7 +126,8 @@ func SolveParallelCtx(ctx context.Context, in *Instance, opts Options, workers i
 	}
 	if bestAssign != nil {
 		sol.Feasible = true
-		sol.Cost = best
+		// Canonical task-index-order cost, as in SolveCtx.
+		sol.Cost = TotalCost(in, bestAssign)
 		sol.Assign = append([]int(nil), bestAssign...)
 	}
 	sol.Optimal = allComplete

@@ -1,0 +1,105 @@
+package assign
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// searchScratch is the pooled buffer set behind one searcher's DFS state.
+// A mechanism run performs hundreds of solves over instances of identical
+// shape, and prepare()'s slices dominated the allocation profile; pooling
+// them makes repeated engine solves allocation-free on the search side.
+// Every buffer is fully (re)initialized by prepare, so pooled leftovers
+// can never influence a solve.
+type searchScratch struct {
+	order   []int
+	maxT    []float64
+	gspFlat []int
+	gspRows [][]int
+	sufMin  []float64
+	load    []float64
+	count   []int
+	assign  []int
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(searchScratch) }}
+
+// growInts returns *buf resized to n, reallocating (and updating *buf)
+// only when the pooled capacity is insufficient.
+func growInts(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// growFloats is growInts for float64 slices.
+func growFloats(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// repairSeed turns a (possibly infeasible) warm-start hint into a feasible
+// assignment, or nil when it cannot. Entries outside [0,k) — the tasks of
+// an evicted GSP after projection — and entries that no longer fit the
+// deadline are treated as orphaned, reassigned hardest-first to the
+// cheapest GSP with remaining capacity. Coverage is then restored with the
+// same repair the constructive heuristics use, and the result is polished
+// by LocalSearch and verified against all constraints (budget included).
+// Deterministic: ties break toward lower indices throughout.
+func repairSeed(in *Instance, seed []int, localSearchPasses int) []int {
+	k, n := in.NumGSPs(), in.NumTasks()
+	if len(seed) != n || k == 0 || n < k {
+		return nil
+	}
+	assign := make([]int, n)
+	load := make([]float64, k)
+	count := make([]int, k)
+	var orphans []int
+	for j, g := range seed {
+		if g < 0 || g >= k || load[g]+in.Time[g][j] > in.Deadline+Eps {
+			assign[j] = -1
+			orphans = append(orphans, j)
+			continue
+		}
+		assign[j] = g
+		load[g] += in.Time[g][j]
+		count[g]++
+	}
+	// Hardest tasks first, so scarce deadline capacity is spent where the
+	// placement options are fewest (mirrors the greedy heuristic's fill).
+	sort.SliceStable(orphans, func(a, b int) bool {
+		return maxTime(in, orphans[a]) > maxTime(in, orphans[b])
+	})
+	for _, t := range orphans {
+		bestG := -1
+		bestC := math.Inf(1)
+		for g := 0; g < k; g++ {
+			if load[g]+in.Time[g][t] > in.Deadline+Eps {
+				continue
+			}
+			if in.Cost[g][t] < bestC {
+				bestC, bestG = in.Cost[g][t], g
+			}
+		}
+		if bestG == -1 {
+			return nil
+		}
+		assign[t] = bestG
+		load[bestG] += in.Time[bestG][t]
+		count[bestG]++
+	}
+	if !repairCoverage(in, assign, load, count) {
+		return nil
+	}
+	LocalSearch(in, assign, localSearchPasses)
+	if Verify(in, assign) != nil {
+		return nil
+	}
+	return assign
+}

@@ -21,10 +21,31 @@ type EngineStats struct {
 	// CacheHits counts coalition evaluations served from the cache —
 	// i.e. solves avoided.
 	CacheHits int64
+	// WarmStarts counts fresh solves launched with a seed projected from
+	// a cached parent coalition's solution (the incumbent-inheritance
+	// path of the warm-start pipeline).
+	WarmStarts int64
+	// SeedAccepted counts warm-start seeds the solver repaired into a
+	// feasible starting incumbent (always ≤ WarmStarts).
+	SeedAccepted int64
+	// SeedWins counts accepted seeds that beat every constructive
+	// heuristic, i.e. inherited incumbents that were strictly better than
+	// anything a cold solve starts from (always ≤ SeedAccepted).
+	SeedWins int64
 	// Nodes sums branch-and-bound nodes across fresh solves.
 	Nodes int64
 	// WallTime sums solver wall-clock time across fresh solves.
 	WallTime time.Duration
+	// PowerIterations sums power-method multiply steps performed by the
+	// mechanism loop's per-coalition reputation solves.
+	PowerIterations int64
+	// PowerIterationsSaved estimates multiply steps avoided by
+	// eigenvector warm starts. For the first iteration it is exact (the
+	// grand coalition's global vector is reused instead of recomputed);
+	// for later iterations it is the shortfall versus the run's cold
+	// first solve, a proxy since the true cold count for each subgraph is
+	// never computed.
+	PowerIterationsSaved int64
 }
 
 // Evaluations returns the total coalition evaluations the engine served
@@ -39,13 +60,28 @@ func (s EngineStats) HitRate() float64 {
 	return 0
 }
 
+// WarmStartRate returns SeedAccepted / WarmStarts — the fraction of
+// seeded solves whose inherited incumbent survived repair — or 0 when no
+// solve was warm-started.
+func (s EngineStats) WarmStartRate() float64 {
+	if s.WarmStarts > 0 {
+		return float64(s.SeedAccepted) / float64(s.WarmStarts)
+	}
+	return 0
+}
+
 // Add returns the fieldwise sum (for harness-level aggregation).
 func (s EngineStats) Add(o EngineStats) EngineStats {
 	return EngineStats{
-		Solves:    s.Solves + o.Solves,
-		CacheHits: s.CacheHits + o.CacheHits,
-		Nodes:     s.Nodes + o.Nodes,
-		WallTime:  s.WallTime + o.WallTime,
+		Solves:               s.Solves + o.Solves,
+		CacheHits:            s.CacheHits + o.CacheHits,
+		WarmStarts:           s.WarmStarts + o.WarmStarts,
+		SeedAccepted:         s.SeedAccepted + o.SeedAccepted,
+		SeedWins:             s.SeedWins + o.SeedWins,
+		Nodes:                s.Nodes + o.Nodes,
+		WallTime:             s.WallTime + o.WallTime,
+		PowerIterations:      s.PowerIterations + o.PowerIterations,
+		PowerIterationsSaved: s.PowerIterationsSaved + o.PowerIterationsSaved,
 	}
 }
 
@@ -53,17 +89,22 @@ func (s EngineStats) Add(o EngineStats) EngineStats {
 // engine).
 func (s EngineStats) Sub(o EngineStats) EngineStats {
 	return EngineStats{
-		Solves:    s.Solves - o.Solves,
-		CacheHits: s.CacheHits - o.CacheHits,
-		Nodes:     s.Nodes - o.Nodes,
-		WallTime:  s.WallTime - o.WallTime,
+		Solves:               s.Solves - o.Solves,
+		CacheHits:            s.CacheHits - o.CacheHits,
+		WarmStarts:           s.WarmStarts - o.WarmStarts,
+		SeedAccepted:         s.SeedAccepted - o.SeedAccepted,
+		SeedWins:             s.SeedWins - o.SeedWins,
+		Nodes:                s.Nodes - o.Nodes,
+		WallTime:             s.WallTime - o.WallTime,
+		PowerIterations:      s.PowerIterations - o.PowerIterations,
+		PowerIterationsSaved: s.PowerIterationsSaved - o.PowerIterationsSaved,
 	}
 }
 
 // String renders the stats for the cmds' summaries.
 func (s EngineStats) String() string {
-	return fmt.Sprintf("%d solves, %d cache hits (%.1f%% hit rate, %d solves avoided), %d nodes, %s solver time",
-		s.Solves, s.CacheHits, 100*s.HitRate(), s.CacheHits, s.Nodes, s.WallTime)
+	return fmt.Sprintf("%d solves (%d warm-started), %d cache hits (%.1f%% hit rate), %d nodes, %s solver time, %d power iterations (%d saved)",
+		s.Solves, s.WarmStarts, s.CacheHits, 100*s.HitRate(), s.Nodes, s.WallTime, s.PowerIterations, s.PowerIterationsSaved)
 }
 
 // Engine is the unified solve path for one scenario: every layer that
@@ -90,8 +131,11 @@ type Engine struct {
 
 // NewEngine creates the solve engine for a scenario with the given solver
 // options. The scenario's matrices, deadline, and payment must not change
-// afterwards — the cache keys coalitions only by membership.
+// afterwards — the cache keys coalitions only by membership. Any
+// SeedAssign in the options is discarded: warm-start seeds are projected
+// per solve from cached parent solutions, never fixed engine-wide.
 func NewEngine(sc *Scenario, solverOpts assign.Options) *Engine {
+	solverOpts.SeedAssign = nil
 	return &Engine{
 		sc:     sc,
 		solver: assign.DefaultSolver(),
@@ -153,26 +197,59 @@ func memberMask(members []int) (uint64, bool) {
 // Solve returns the assignment solution for the coalition given by global
 // GSP indices, serving from the cache when the coalition was already
 // solved. Cache hits return a defensive copy of the assignment so callers
-// can retain it without aliasing each other.
+// can retain it without aliasing each other. It is SolveWithParent
+// without a warm-start hint.
 func (e *Engine) Solve(ctx context.Context, members []int) assign.Solution {
+	return e.SolveWithParent(ctx, members, nil)
+}
+
+// SolveWithParent is Solve with incumbent inheritance: parent, when
+// non-nil, names a related coalition (typically this coalition plus the
+// GSP an iteration just evicted, or a merge constituent) whose cached
+// solution — if present and feasible — is projected onto members and
+// passed to the solver as Options.SeedAssign. The solver repairs the
+// projection and uses it as its starting incumbent, so each TVOF/RVOF
+// iteration resumes from its parent's optimum instead of re-deriving one
+// from scratch. Seeds only tighten the incumbent, never any bound, so
+// cacheability is unchanged and a seeded solve is never worse than a cold
+// one. Cache misses with an unusable parent degrade silently to a cold
+// solve.
+func (e *Engine) SolveWithParent(ctx context.Context, members, parent []int) assign.Solution {
 	mask, keyable := memberMask(members)
-	if keyable {
-		e.mu.Lock()
-		if !e.noCache {
-			if sol, ok := e.cache[mask]; ok {
-				e.stats.CacheHits++
-				e.mu.Unlock()
-				sol.Assign = append([]int(nil), sol.Assign...)
-				return sol
+	var seed []int
+	e.mu.Lock()
+	if keyable && !e.noCache {
+		if sol, ok := e.cache[mask]; ok {
+			e.stats.CacheHits++
+			e.mu.Unlock()
+			sol.Assign = append([]int(nil), sol.Assign...)
+			return sol
+		}
+	}
+	if parent != nil && !e.noCache {
+		if pmask, ok := memberMask(parent); ok {
+			// Cached entries are immutable once stored, so projecting
+			// from the stored assignment outside the lock is safe.
+			if psol, ok := e.cache[pmask]; ok && psol.Feasible {
+				seed = psol.Assign
 			}
 		}
-		e.mu.Unlock()
 	}
+	e.mu.Unlock()
 
-	sol := e.solver.SolveCtx(ctx, e.sc.Instance(members), e.opts)
+	opts := e.opts
+	if seed != nil {
+		opts.SeedAssign = projectAssign(seed, parent, members)
+	}
+	sol := e.solver.SolveCtx(ctx, e.sc.Instance(members), opts)
 
 	e.mu.Lock()
 	e.stats.Solves++
+	if opts.SeedAssign != nil {
+		e.stats.WarmStarts++
+		e.stats.SeedAccepted += sol.Stats.SeedAccepted
+		e.stats.SeedWins += sol.Stats.SeedWins
+	}
 	e.stats.Nodes += sol.Stats.Nodes
 	e.stats.WallTime += sol.Stats.WallTime
 	if keyable && !e.noCache && !sol.Stats.Interrupted() {
@@ -182,6 +259,40 @@ func (e *Engine) Solve(ctx context.Context, members []int) assign.Solution {
 	}
 	e.mu.Unlock()
 	return sol
+}
+
+// notePower folds one reputation solve's power-method activity into the
+// engine stats: iters multiply steps performed, saved steps avoided by a
+// warm start (see EngineStats.PowerIterationsSaved for the estimate's
+// semantics).
+func (e *Engine) notePower(iters, saved int) {
+	e.mu.Lock()
+	e.stats.PowerIterations += int64(iters)
+	e.stats.PowerIterationsSaved += int64(saved)
+	e.mu.Unlock()
+}
+
+// projectAssign maps a parent coalition's task assignment onto a child
+// coalition: tasks whose GSP the child retains keep it (re-indexed to the
+// child's local indices); tasks of departed members become -1, the
+// orphan marker the solver's seed repair reassigns. parent and child are
+// ascending global GSP indices; parentAssign is indexed by task with
+// parent-local values.
+func projectAssign(parentAssign, parent, child []int) []int {
+	local := map[int]int{}
+	for cl, g := range child {
+		local[g] = cl
+	}
+	seed := make([]int, len(parentAssign))
+	for j, pl := range parentAssign {
+		seed[j] = -1
+		if pl >= 0 && pl < len(parent) {
+			if cl, ok := local[parent[pl]]; ok {
+				seed[j] = cl
+			}
+		}
+	}
+	return seed
 }
 
 // Value returns the characteristic function v(C) of eq. (15) under the

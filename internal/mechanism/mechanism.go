@@ -68,13 +68,20 @@ type Options struct {
 	// then taken from Solver). A passed engine must have been built for
 	// the same scenario.
 	Engine *Engine
+	// NoWarmStart disables the warm-start pipeline: IP solves stop
+	// inheriting the parent coalition's incumbent and per-coalition
+	// reputation stops warm-starting from the previous iteration's
+	// vector. Warm starts only tighten incumbents and starting points —
+	// they select the same VOs — so this exists for A/B measurement and
+	// paper-faithful cold reproduction, not correctness.
+	NoWarmStart bool
 }
 
 func (o *Options) fillDefaults() {
 	if o.TieTolerance == 0 {
 		o.TieTolerance = 1e-12
 	}
-	if o.Reputation == (reputation.Options{}) {
+	if o.Reputation.IsZero() {
 		o.Reputation = reputation.DefaultOptions()
 	}
 }
@@ -235,11 +242,12 @@ func RunContext(ctx context.Context, sc *Scenario, opts Options, rng *xrand.RNG)
 
 	// Global reputation of every GSP in the full trust graph, computed
 	// once; eq. (7) averages over its restriction to each VO.
-	global, _, err := reputation.Global(sc.Trust, opts.Reputation)
+	global, globalDiag, err := reputation.Global(sc.Trust, opts.Reputation)
 	if err != nil {
 		return nil, fmt.Errorf("mechanism: global reputation: %w", err)
 	}
 	res.GlobalReputation = global
+	eng.notePower(globalDiag.Iterations, 0)
 
 	// members holds the current VO as global GSP indices, ascending.
 	members := make([]int, sc.M())
@@ -248,6 +256,16 @@ func RunContext(ctx context.Context, sc *Scenario, opts Options, rng *xrand.RNG)
 	}
 	curTrust := sc.Trust.Clone()
 
+	// Warm-start state threaded iteration to iteration: the previous
+	// coalition (whose cached solution seeds the next IP solve) and the
+	// previous reputation vector (restricted to the survivors, it seeds
+	// the next power iteration). coldIters anchors the iterations-saved
+	// estimate at the run's one guaranteed-cold power solve.
+	warm := !opts.NoWarmStart
+	var parentMembers []int
+	var repInit []float64
+	coldIters := globalDiag.Iterations
+
 	for len(members) > 0 {
 		rec := IterationRecord{
 			Members: append([]int(nil), members...),
@@ -255,8 +273,10 @@ func RunContext(ctx context.Context, sc *Scenario, opts Options, rng *xrand.RNG)
 		}
 
 		// Map program T on C using IP-B&B (Algorithm 1 line 5), served
-		// through the shared engine.
-		sol := eng.Solve(ctx, members)
+		// through the shared engine; after the first iteration the parent
+		// coalition's cached solution is projected in as the starting
+		// incumbent.
+		sol := eng.SolveWithParent(ctx, members, parentMembers)
 		rec.Feasible = sol.Feasible
 		rec.SolverOptimal = sol.Optimal
 		rec.SolverGap = sol.Gap()
@@ -269,10 +289,29 @@ func RunContext(ctx context.Context, sc *Scenario, opts Options, rng *xrand.RNG)
 			}
 		}
 
-		// x = REPUTATION(C, E) (Algorithm 1 line 10; Algorithm 2).
-		scores, err := evictionScores(curTrust, opts)
-		if err != nil {
-			return nil, fmt.Errorf("mechanism: reputation on %d-member VO: %w", len(members), err)
+		// x = REPUTATION(C, E) (Algorithm 1 line 10; Algorithm 2). The
+		// first iteration's graph is the full trust graph, whose vector
+		// was just computed — reuse it instead of re-iterating (exact,
+		// not approximate: same graph, same options, same fixed point).
+		var scores []float64
+		if firstIter := len(res.Iterations) == 0; firstIter && warm && opts.Eviction != EvictLowestCentrality {
+			scores = global
+			eng.notePower(0, coldIters)
+		} else {
+			var init []float64
+			if warm {
+				init = repInit
+			}
+			var diag reputation.Diagnostics
+			scores, diag, err = evictionScores(curTrust, opts, init, coldIters)
+			if err != nil {
+				return nil, fmt.Errorf("mechanism: reputation on %d-member VO: %w", len(members), err)
+			}
+			saved := 0
+			if diag.Warm && coldIters > diag.Iterations {
+				saved = coldIters - diag.Iterations
+			}
+			eng.notePower(diag.Iterations, saved)
 		}
 		rec.Reputation = scores
 		rec.AvgReputation = reputation.AverageOf(global, members)
@@ -310,6 +349,19 @@ func RunContext(ctx context.Context, sc *Scenario, opts Options, rng *xrand.RNG)
 			}
 		}
 		members = next
+
+		// Warm-start hints for the next iteration: this coalition is the
+		// parent, and its reputation vector restricted to the survivors
+		// (renormalized inside PowerIterate) is the eigenvector seed.
+		if warm {
+			parentMembers = rec.Members
+			repInit = repInit[:0]
+			for i, x := range scores {
+				if i != evictLocal {
+					repInit = append(repInit, x)
+				}
+			}
+		}
 	}
 
 	selectFinal(ctx, eng, res, opts)
@@ -322,12 +374,39 @@ func RunContext(ctx context.Context, sc *Scenario, opts Options, rng *xrand.RNG)
 // RVOF does not use them to evict, but the paper still reports the average
 // reputation of every RVOF iteration (Figs. 7–8), so scores are always
 // computed with the power method unless a centrality ablation is selected.
-func evictionScores(g *trust.Graph, opts Options) ([]float64, error) {
+//
+// init, when non-nil, warm-starts the power iteration (ignored for
+// centrality ablations, which are not iterative), and warmBudget bounds
+// the warm attempt's iterations. A good warm start converges in far fewer
+// steps than a cold one; but on periodic or reducible subgraphs (sparse
+// trust graphs lose edges every eviction) the uniform start can sit on —
+// or symmetrically average into — the fixed point while a perturbed start
+// oscillates indefinitely, so a warm attempt that has not converged within
+// the budget is abandoned and the iteration restarts cold with the full
+// configured bound. Total work is thus at most warmBudget over a cold
+// solve, and typically far below one.
+func evictionScores(g *trust.Graph, opts Options, init []float64, warmBudget int) ([]float64, reputation.Diagnostics, error) {
 	if opts.Eviction == EvictLowestCentrality {
-		return reputation.Scores(g, opts.Centrality)
+		x, err := reputation.Scores(g, opts.Centrality)
+		return x, reputation.Diagnostics{}, err
 	}
-	x, _, err := reputation.Global(g, opts.Reputation)
-	return x, err
+	ro := opts.Reputation
+	ro.InitialVector = init
+	if init != nil && warmBudget > 0 {
+		if ro.MaxIter == 0 || warmBudget < ro.MaxIter {
+			ro.MaxIter = warmBudget
+		}
+	}
+	x, diag, err := reputation.Global(g, ro)
+	if err != nil || !diag.Warm || diag.Converged {
+		return x, diag, err
+	}
+	ro.InitialVector = nil
+	ro.MaxIter = opts.Reputation.MaxIter
+	xc, diagc, err := reputation.Global(g, ro)
+	diagc.Iterations += diag.Iterations
+	diagc.Warm = false
+	return xc, diagc, err
 }
 
 // pickEviction returns the local index to evict.

@@ -40,6 +40,9 @@ type MergeSplitOptions struct {
 	// pass the engine of a TVOF/RVOF run on the same scenario and the
 	// nested coalitions both mechanisms evaluate are solved once.
 	Engine *Engine
+	// NoWarmStart disables incumbent inheritance for the merge/split
+	// candidate solves (see Options.NoWarmStart).
+	NoWarmStart bool
 }
 
 // MergeSplitResult reports the outcome of the merge-and-split process.
@@ -92,7 +95,17 @@ func MergeSplitContext(ctx context.Context, sc *Scenario, opts MergeSplitOptions
 	}
 	statsBefore := eng.Stats()
 
-	game := coalition.NewGame(m, eng.ValueFunc(ctx))
+	// parentHint, when set around a candidate evaluation, names the
+	// coalition whose cached solution should seed the solve: a merge
+	// candidate warm-starts from its larger constituent, a split
+	// remainder from the coalition it shrank from. The game layer
+	// memoizes values, so the hint only reaches the engine on first
+	// evaluation — exactly the solves worth warming.
+	var parentHint []int
+	game := coalition.NewGame(m, func(members []int) float64 {
+		sol := eng.SolveWithParent(ctx, members, parentHint)
+		return sc.Value(&sol)
+	})
 	share := func(members []int) float64 {
 		if len(members) == 0 {
 			return 0
@@ -122,7 +135,14 @@ func MergeSplitContext(ctx context.Context, sc *Scenario, opts MergeSplitOptions
 			for b := a + 1; b < len(structure); b++ {
 				union := append(append([]int(nil), structure[a]...), structure[b]...)
 				sort.Ints(union)
+				if !opts.NoWarmStart {
+					parentHint = structure[a]
+					if len(structure[b]) > len(structure[a]) {
+						parentHint = structure[b]
+					}
+				}
 				su := share(union)
+				parentHint = nil
 				sa, sb := share(structure[a]), share(structure[b])
 				// Merge rule: every member involved weakly gains and
 				// the union strictly gains in total share mass.
@@ -163,7 +183,12 @@ func MergeSplitContext(ctx context.Context, sc *Scenario, opts MergeSplitOptions
 							rest = append(rest, g)
 						}
 					}
-					if share(rest) >= cur+assign.Eps && share([]int{leaver}) >= cur-assign.Eps {
+					if !opts.NoWarmStart {
+						parentHint = c
+					}
+					restShare := share(rest)
+					parentHint = nil
+					if restShare >= cur+assign.Eps && share([]int{leaver}) >= cur-assign.Eps {
 						structure[ci] = rest
 						structure = append(structure, []int{leaver})
 						res.Rounds++
@@ -195,7 +220,7 @@ func MergeSplitContext(ctx context.Context, sc *Scenario, opts MergeSplitOptions
 	res.Evaluations = game.CacheSize()
 	if res.Selected != nil {
 		repOpts := opts.Reputation
-		if repOpts == (reputation.Options{}) {
+		if repOpts.IsZero() {
 			repOpts = reputation.DefaultOptions()
 		}
 		global, _, err := reputation.Global(sc.Trust, repOpts)

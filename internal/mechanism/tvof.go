@@ -95,8 +95,15 @@ func StabilityCheckContext(ctx context.Context, sc *Scenario, res *Result, opts 
 	if err != nil {
 		return false, -1, err
 	}
+	// Each candidate coalition is the final VO minus one member:
+	// warm-start those solves from the final VO's cached solution (a
+	// guaranteed cache entry after a completed run).
+	parent := final.Members
+	if opts.NoWarmStart {
+		parent = nil
+	}
 	eval := func(member int, members []int) coalition.Outcome {
-		sol := eng.Solve(ctx, members)
+		sol := eng.SolveWithParent(ctx, members, parent)
 		payoff := 0.0
 		if sol.Feasible {
 			payoff = sc.Value(&sol) / float64(len(members))

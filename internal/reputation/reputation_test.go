@@ -292,3 +292,137 @@ func TestEvictionInvariance(t *testing.T) {
 		}
 	}
 }
+
+// TestWarmStartSameFixedPoint verifies a warm-started iteration converges
+// to the same vector as a cold one and reports Diagnostics.Warm.
+func TestWarmStartSameFixedPoint(t *testing.T) {
+	rng := xrand.New(17)
+	for trial := 0; trial < 25; trial++ {
+		g := trust.ErdosRenyi(rng.SplitN("g", trial), 12, 0.4)
+		cold, coldDiag, err := Global(g, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !coldDiag.Converged {
+			continue
+		}
+		if coldDiag.Warm {
+			t.Fatalf("trial %d: cold run flagged warm", trial)
+		}
+		// Start near — but not at — the fixed point, as the mechanism loop
+		// does when it carries the previous iteration's vector forward.
+		init := append([]float64(nil), cold...)
+		for i := range init {
+			init[i] *= 1 + 0.01*rng.Float64()
+		}
+		opts := DefaultOptions()
+		opts.InitialVector = init
+		warm, warmDiag, err := Global(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !warmDiag.Warm || !warmDiag.Converged {
+			t.Fatalf("trial %d: warm diagnostics off: %+v", trial, warmDiag)
+		}
+		if !matrix.VecEqual(warm, cold, 1e-6) {
+			t.Fatalf("trial %d: warm fixed point differs:\ncold = %v\nwarm = %v", trial, cold, warm)
+		}
+		if warmDiag.Iterations > coldDiag.Iterations {
+			t.Fatalf("trial %d: warm start took more iterations (%d) than cold (%d)",
+				trial, warmDiag.Iterations, coldDiag.Iterations)
+		}
+	}
+}
+
+// TestWarmStartExactVectorConvergesImmediately seeds with the converged
+// vector itself: one multiply step must confirm convergence.
+func TestWarmStartExactVectorConvergesImmediately(t *testing.T) {
+	g := ring(8)
+	cold, _, err := Global(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.InitialVector = cold
+	_, diag, err := Global(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diag.Converged || diag.Iterations != 1 {
+		t.Fatalf("exact warm start diagnostics: %+v, want converged in 1 iteration", diag)
+	}
+}
+
+// TestWarmStartInvalidFallsBackToUniform checks every malformed hint is
+// ignored: the run behaves exactly like a cold start.
+func TestWarmStartInvalidFallsBackToUniform(t *testing.T) {
+	g := ErdosRenyiFixture()
+	cold, coldDiag, err := Global(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.N()
+	bad := map[string][]float64{
+		"wrongLen": make([]float64, n-1),
+		"negative": negAt(n, 2),
+		"nan":      withVal(n, 1, math.NaN()),
+		"inf":      withVal(n, 0, math.Inf(1)),
+		"zeroSum":  make([]float64, n),
+	}
+	for name, init := range bad {
+		opts := DefaultOptions()
+		opts.InitialVector = init
+		x, diag, err := Global(g, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diag.Warm {
+			t.Fatalf("%s: invalid hint flagged warm", name)
+		}
+		if diag.Iterations != coldDiag.Iterations || !matrix.VecEqual(x, cold, 0) {
+			t.Fatalf("%s: invalid hint changed the run: %+v vs cold %+v", name, diag, coldDiag)
+		}
+	}
+}
+
+// TestWarmStartDoesNotModifyInput verifies the hint slice is left intact
+// (the mechanism loop reuses its buffer across iterations).
+func TestWarmStartDoesNotModifyInput(t *testing.T) {
+	g := ring(5)
+	init := []float64{5, 1, 1, 1, 2} // deliberately unnormalized
+	orig := append([]float64(nil), init...)
+	opts := DefaultOptions()
+	opts.InitialVector = init
+	if _, _, err := Global(g, opts); err != nil {
+		t.Fatal(err)
+	}
+	for i := range init {
+		if init[i] != orig[i] {
+			t.Fatalf("InitialVector modified at %d: %v vs %v", i, init, orig)
+		}
+	}
+}
+
+func ErdosRenyiFixture() *trust.Graph {
+	return trust.ErdosRenyi(xrand.New(99), 10, 0.5)
+}
+
+func negAt(n, i int) []float64 {
+	v := uniformVec(n)
+	v[i] = -0.1
+	return v
+}
+
+func withVal(n, i int, x float64) []float64 {
+	v := uniformVec(n)
+	v[i] = x
+	return v
+}
+
+func uniformVec(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1 / float64(n)
+	}
+	return v
+}

@@ -104,17 +104,33 @@ type EngineStatsJSON struct {
 	Solves    int64   `json:"solves"`
 	CacheHits int64   `json:"cache_hits"`
 	HitRate   float64 `json:"hit_rate"`
-	Nodes     int64   `json:"nodes"`
-	SolverMS  float64 `json:"solver_ms"`
+	// WarmStarts counts solves seeded from a cached parent coalition;
+	// WarmStartRate is the fraction of those whose seed survived repair.
+	WarmStarts    int64   `json:"warm_starts"`
+	SeedAccepted  int64   `json:"seed_accepted"`
+	SeedWins      int64   `json:"seed_wins"`
+	WarmStartRate float64 `json:"warm_start_rate"`
+	Nodes         int64   `json:"nodes"`
+	SolverMS      float64 `json:"solver_ms"`
+	// PowerIterations / PowerIterationsSaved report the mechanism loops'
+	// power-method work and the steps avoided by eigenvector warm starts.
+	PowerIterations      int64 `json:"power_iterations"`
+	PowerIterationsSaved int64 `json:"power_iterations_saved"`
 }
 
 func engineStatsJSON(s mechanism.EngineStats) EngineStatsJSON {
 	return EngineStatsJSON{
-		Solves:    s.Solves,
-		CacheHits: s.CacheHits,
-		HitRate:   s.HitRate(),
-		Nodes:     s.Nodes,
-		SolverMS:  float64(s.WallTime) / float64(time.Millisecond),
+		Solves:               s.Solves,
+		CacheHits:            s.CacheHits,
+		HitRate:              s.HitRate(),
+		WarmStarts:           s.WarmStarts,
+		SeedAccepted:         s.SeedAccepted,
+		SeedWins:             s.SeedWins,
+		WarmStartRate:        s.WarmStartRate(),
+		Nodes:                s.Nodes,
+		SolverMS:             float64(s.WallTime) / float64(time.Millisecond),
+		PowerIterations:      s.PowerIterations,
+		PowerIterationsSaved: s.PowerIterationsSaved,
 	}
 }
 

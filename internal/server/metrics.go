@@ -26,10 +26,15 @@ type Metrics struct {
 	responses [6]atomic.Int64 // status class: index 2 = 2xx, 4 = 4xx, 5 = 5xx
 
 	engine struct {
-		solves    atomic.Int64
-		cacheHits atomic.Int64
-		nodes     atomic.Int64
-		solverNS  atomic.Int64
+		solves          atomic.Int64
+		cacheHits       atomic.Int64
+		warmStarts      atomic.Int64
+		seedAccepted    atomic.Int64
+		seedWins        atomic.Int64
+		nodes           atomic.Int64
+		solverNS        atomic.Int64
+		powerIters      atomic.Int64
+		powerItersSaved atomic.Int64
 	}
 
 	latency struct {
@@ -80,17 +85,27 @@ func (m *Metrics) response(status int, elapsed time.Duration) {
 func (m *Metrics) addEngine(s mechanism.EngineStats) {
 	m.engine.solves.Add(s.Solves)
 	m.engine.cacheHits.Add(s.CacheHits)
+	m.engine.warmStarts.Add(s.WarmStarts)
+	m.engine.seedAccepted.Add(s.SeedAccepted)
+	m.engine.seedWins.Add(s.SeedWins)
 	m.engine.nodes.Add(s.Nodes)
 	m.engine.solverNS.Add(int64(s.WallTime))
+	m.engine.powerIters.Add(s.PowerIterations)
+	m.engine.powerItersSaved.Add(s.PowerIterationsSaved)
 }
 
 // EngineTotals returns the cumulative engine stats served so far.
 func (m *Metrics) EngineTotals() mechanism.EngineStats {
 	return mechanism.EngineStats{
-		Solves:    m.engine.solves.Load(),
-		CacheHits: m.engine.cacheHits.Load(),
-		Nodes:     m.engine.nodes.Load(),
-		WallTime:  time.Duration(m.engine.solverNS.Load()),
+		Solves:               m.engine.solves.Load(),
+		CacheHits:            m.engine.cacheHits.Load(),
+		WarmStarts:           m.engine.warmStarts.Load(),
+		SeedAccepted:         m.engine.seedAccepted.Load(),
+		SeedWins:             m.engine.seedWins.Load(),
+		Nodes:                m.engine.nodes.Load(),
+		WallTime:             time.Duration(m.engine.solverNS.Load()),
+		PowerIterations:      m.engine.powerIters.Load(),
+		PowerIterationsSaved: m.engine.powerItersSaved.Load(),
 	}
 }
 

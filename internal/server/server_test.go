@@ -352,6 +352,59 @@ func TestAssignExpiredDeadlineIs504(t *testing.T) {
 	}
 }
 
+func TestMetricsExposeWarmStartCounters(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	spec := mechanism.SampleSpec(1)
+	code, data := postJSON(t, ts.URL+"/v1/vo/form", FormRequest{Scenario: *spec, Seed: 1})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, data)
+	}
+	var form FormResponse
+	if err := json.Unmarshal(data, &form); err != nil {
+		t.Fatal(err)
+	}
+	// The eviction loop solves a chain of nested coalitions, so every solve
+	// after the first inherits its parent's incumbent.
+	if form.Engine.WarmStarts == 0 {
+		t.Fatalf("form run reported no warm starts: %+v", form.Engine)
+	}
+	if form.Engine.SeedAccepted > form.Engine.WarmStarts || form.Engine.SeedWins > form.Engine.SeedAccepted {
+		t.Fatalf("seed counters inconsistent: %+v", form.Engine)
+	}
+	if r := form.Engine.WarmStartRate; r < 0 || r > 1 {
+		t.Fatalf("warm-start rate %v outside [0,1]", r)
+	}
+	if form.Engine.PowerIterations == 0 {
+		t.Fatalf("form run reported no power iterations: %+v", form.Engine)
+	}
+
+	// /metrics aggregates the same counters and serializes every field.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Engine.WarmStarts != form.Engine.WarmStarts ||
+		snap.Engine.SeedAccepted != form.Engine.SeedAccepted ||
+		snap.Engine.PowerIterations != form.Engine.PowerIterations ||
+		snap.Engine.PowerIterationsSaved != form.Engine.PowerIterationsSaved {
+		t.Fatalf("metrics totals disagree with the only request: %+v vs %+v", snap.Engine, form.Engine)
+	}
+	for _, field := range []string{"warm_starts", "seed_accepted", "seed_wins", "warm_start_rate", "power_iterations", "power_iterations_saved"} {
+		if !bytes.Contains(raw, []byte(`"`+field+`"`)) {
+			t.Fatalf("/metrics body missing %q: %s", field, raw)
+		}
+	}
+}
+
 func TestMetricsCountersAdvance(t *testing.T) {
 	s, ts := newTestServer(t, Config{})
 	var before MetricsSnapshot
