@@ -5,10 +5,18 @@
 // acceptance, and power-method iterations saved, plus a per-point identity
 // check that both configurations select the same VOs.
 //
+// With -baseline it instead compares the current tree against a prior
+// report: the baseline's warm side plays the "before" role (no cold
+// sweep is run), speedup becomes prior wall time / current wall time,
+// and the selection check demands the same VOs at every point — the
+// regression guard that a change which should not alter
+// injection-disabled behavior in fact did not.
+//
 // Usage:
 //
 //	benchjson                          # writes BENCH_PR3.json
 //	benchjson -out bench.json -sizes 256,1024 -reps 3 -seed 42
+//	benchjson -baseline BENCH_PR3.json -out BENCH_PR4.json
 package main
 
 import (
@@ -90,8 +98,13 @@ type reportJSON struct {
 	Seed  uint64 `json:"seed"`
 	Sizes []int  `json:"sizes"`
 	Reps  int    `json:"reps"`
+	// Baseline, when set, names the prior report whose warm side was
+	// used as the Cold comparison side instead of running a
+	// no-warm-start sweep; Speedup is then the prior wall time over the
+	// current one.
+	Baseline string `json:"baseline,omitempty"`
 	// Warm is the default pipeline, Cold the same sweep with
-	// NoWarmStart forced.
+	// NoWarmStart forced (or the baseline report's warm side).
 	Warm sideJSON `json:"warm"`
 	Cold sideJSON `json:"cold"`
 	// Speedup is cold seconds / warm seconds; NodeReduction is the
@@ -127,6 +140,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		seed      = fs.Uint64("seed", 42, "root seed")
 		traceJobs = fs.Int("trace-jobs", 4000, "synthetic trace size")
 		nodeCap   = fs.Int64("nodes", 0, "branch-and-bound node budget per solve (0 = default)")
+		baseline  = fs.String("baseline", "", "prior benchjson report to compare against instead of running a cold sweep")
 		fig9Base  = fs.Int64("fig9-baseline-ns", 0, "measured BenchmarkFig9 ns/op on the baseline tree (recorded verbatim)")
 		fig9Cur   = fs.Int64("fig9-ns", 0, "measured BenchmarkFig9 ns/op on the current tree (recorded verbatim)")
 		fig9Note  = fs.String("fig9-note", "", "provenance note for the fig9 figures")
@@ -134,6 +148,39 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	// With -baseline, the prior report fixes the sweep parameters so the
+	// runs are comparable; explicit -sizes/-reps/-seed still win.
+	var base *reportJSON
+	if *baseline != "" {
+		base = new(reportJSON)
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		if err := json.Unmarshal(data, base); err != nil {
+			return fmt.Errorf("baseline %s: %w", *baseline, err)
+		}
+		if len(base.Warm.Points) == 0 {
+			return fmt.Errorf("baseline %s has no warm sweep points", *baseline)
+		}
+		set := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["sizes"] {
+			var parts []string
+			for _, n := range base.Sizes {
+				parts = append(parts, strconv.Itoa(n))
+			}
+			*sizesFlag = strings.Join(parts, ",")
+		}
+		if !set["reps"] {
+			*reps = base.Reps
+		}
+		if !set["seed"] {
+			*seed = base.Seed
+		}
+	}
+
 	sizes, err := parseSizes(*sizesFlag)
 	if err != nil {
 		return err
@@ -151,18 +198,32 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("warm sweep: %w", err)
 	}
-	coldSide, err := sweep(cfg, true)
-	if err != nil {
-		return fmt.Errorf("cold sweep: %w", err)
+	var coldSide sideJSON
+	if base != nil {
+		report.Baseline = *baseline
+		coldSide = base.Warm
+		report.Warm, report.Cold = warmSide, coldSide
+		if warmSide.Seconds > 0 {
+			report.Speedup = coldSide.Seconds / warmSide.Seconds
+		}
+		if coldSide.Stats.Nodes > 0 {
+			report.NodeReduction = 1 - float64(warmSide.Stats.Nodes)/float64(coldSide.Stats.Nodes)
+		}
+		report.IdenticalSelection, report.SelectionNote = compareBaseline(warmSide.Points, coldSide.Points)
+	} else {
+		coldSide, err = sweep(cfg, true)
+		if err != nil {
+			return fmt.Errorf("cold sweep: %w", err)
+		}
+		report.Warm, report.Cold = warmSide, coldSide
+		if warmSide.Seconds > 0 {
+			report.Speedup = coldSide.Seconds / warmSide.Seconds
+		}
+		if coldSide.Stats.Nodes > 0 {
+			report.NodeReduction = 1 - float64(warmSide.Stats.Nodes)/float64(coldSide.Stats.Nodes)
+		}
+		report.IdenticalSelection, report.SelectionNote = compareSelections(warmSide.Points, coldSide.Points)
 	}
-	report.Warm, report.Cold = warmSide, coldSide
-	if warmSide.Seconds > 0 {
-		report.Speedup = coldSide.Seconds / warmSide.Seconds
-	}
-	if coldSide.Stats.Nodes > 0 {
-		report.NodeReduction = 1 - float64(warmSide.Stats.Nodes)/float64(coldSide.Stats.Nodes)
-	}
-	report.IdenticalSelection, report.SelectionNote = compareSelections(warmSide.Points, coldSide.Points)
 	if *fig9Base > 0 && *fig9Cur > 0 {
 		report.Fig9Bench = &fig9JSON{
 			BaselineNs: *fig9Base,
@@ -180,9 +241,50 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		return err
 	}
+	if base != nil {
+		verdict := "identical selections"
+		if !report.IdenticalSelection {
+			verdict = "SELECTIONS DIFFER: " + report.SelectionNote
+		}
+		fmt.Fprintf(stdout, "wrote %s: wall time %.3fx of %s (%.2fs vs %.2fs), %s\n",
+			*out, 1/report.Speedup, *baseline, warmSide.Seconds, coldSide.Seconds, verdict)
+		if !report.IdenticalSelection {
+			return fmt.Errorf("selections diverged from baseline %s: %s", *baseline, report.SelectionNote)
+		}
+		return nil
+	}
 	fmt.Fprintf(stdout, "wrote %s: speedup %.3fx, node reduction %.1f%%, warm-start rate %.1f%%, %d power iterations saved\n",
 		*out, report.Speedup, 100*report.NodeReduction, 100*warmSide.Stats.WarmStartRate, warmSide.Stats.PowerIterationsSaved)
 	return nil
+}
+
+// compareBaseline checks the current warm sweep reproduces a prior
+// report's warm sweep: the same VO at every (size, repetition) point.
+// Sizes must match exactly; reputations and payoffs get an ulp-scale
+// tolerance because PR 4's NormalizeRows fix (divide instead of
+// multiply-by-reciprocal) legitimately moves trust rows by one ulp.
+func compareBaseline(cur, base []pointJSON) (bool, string) {
+	if len(cur) != len(base) {
+		return false, fmt.Sprintf("point counts differ: %d vs baseline %d", len(cur), len(base))
+	}
+	for i := range cur {
+		c, b := cur[i], base[i]
+		if c.Size != b.Size || len(c.TVOFSize) != len(b.TVOFSize) {
+			return false, fmt.Sprintf("shape mismatch at point %d", i)
+		}
+		for r := range c.TVOFSize {
+			if c.TVOFSize[r] != b.TVOFSize[r] {
+				return false, fmt.Sprintf("n=%d rep=%d: VO size %v vs baseline %v", c.Size, r, c.TVOFSize[r], b.TVOFSize[r])
+			}
+			if math.Abs(c.TVOFRep[r]-b.TVOFRep[r]) > 1e-9 {
+				return false, fmt.Sprintf("n=%d rep=%d: VO reputation %v vs baseline %v", c.Size, r, c.TVOFRep[r], b.TVOFRep[r])
+			}
+			if math.Abs(c.TVOFPayoff[r]-b.TVOFPayoff[r]) > 1e-6*(1+math.Abs(b.TVOFPayoff[r])) {
+				return false, fmt.Sprintf("n=%d rep=%d: payoff %v vs baseline %v", c.Size, r, c.TVOFPayoff[r], b.TVOFPayoff[r])
+			}
+		}
+	}
+	return true, ""
 }
 
 // sweep runs the configured experiment grid once and packages the result.

@@ -49,3 +49,51 @@ func TestRunBadFlags(t *testing.T) {
 		t.Fatal("empty -sizes accepted")
 	}
 }
+
+// TestRunBaselineMode generates a small report, then re-runs against it
+// as the baseline: the second run must inherit the sweep parameters from
+// the file, skip the cold sweep (no no-warm-start side), and find the
+// selections identical — the same regression guard BENCH_PR4.json records
+// against BENCH_PR3.json at full scale.
+func TestRunBaselineMode(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-out", base, "-sizes", "32,64", "-reps", "2", "-trace-jobs", "500", "-seed", "7"}, &stdout, &stderr); err != nil {
+		t.Fatalf("baseline run: %v\nstderr: %s", err, stderr.String())
+	}
+
+	out := filepath.Join(dir, "compare.json")
+	stdout.Reset()
+	if err := run([]string{"-baseline", base, "-out", out, "-trace-jobs", "500"}, &stdout, &stderr); err != nil {
+		t.Fatalf("comparison run: %v\nstderr: %s", err, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report reportJSON
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("output not JSON: %v\n%s", err, data)
+	}
+	if report.Baseline != base {
+		t.Fatalf("baseline path not recorded: %+v", report)
+	}
+	if report.Seed != 7 || len(report.Sizes) != 2 || report.Reps != 2 {
+		t.Fatalf("sweep parameters not inherited from baseline: %+v", report)
+	}
+	if !report.IdenticalSelection {
+		t.Fatalf("same tree diverged from its own baseline: %s", report.SelectionNote)
+	}
+	// The cold side is the baseline's warm side verbatim, not a cold sweep.
+	if report.Cold.Stats.WarmStarts == 0 {
+		t.Fatalf("cold side should be the baseline warm sweep: %+v", report.Cold.Stats)
+	}
+}
+
+func TestRunBaselineMissing(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-baseline", filepath.Join(t.TempDir(), "nope.json")}, &stdout, &stderr); err == nil {
+		t.Fatal("missing baseline accepted")
+	}
+}

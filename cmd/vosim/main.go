@@ -28,6 +28,7 @@ import (
 	"strings"
 	"syscall"
 
+	"gridvo/internal/fault"
 	"gridvo/internal/mechanism"
 	"gridvo/internal/sim"
 	"gridvo/internal/swf"
@@ -80,6 +81,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		evol    = fs.Bool("evolution", false, "run the trust-evolution extension (TVOF vs RVOF, with and without decay)")
 		rounds  = fs.Int("rounds", 8, "trust-evolution rounds (with -evolution)")
 		timeout = fs.Duration("timeout", 0, "wall-clock budget for the sweep; on expiry solves degrade to heuristic incumbents (0 = none)")
+		chaos   = fs.String("chaos", "", `fault-injection chaos sweep: "seed,rate" (e.g. 7,0.3); runs the sweep twice, checks every mechanism invariant, and verifies bit-reproducibility`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -124,6 +126,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		cfg.Trace = tr
+	}
+
+	if *chaos != "" {
+		// Chaos mode defaults to the quick setup — the point is fault
+		// coverage and reproducibility, not paper-scale statistics. Any
+		// explicit -quick/-sizes/-reps selection wins.
+		if !*quick && *sizes == "" && *reps == 0 {
+			q := sim.QuickConfig(*seed)
+			q.Solver = cfg.Solver
+			q.Trace = cfg.Trace
+			cfg = q
+		}
+		var progress func(string)
+		if *verbose {
+			progress = func(s string) { fmt.Fprintln(stderr, s) }
+		}
+		return runChaos(ctx, cfg, *chaos, stdout, stderr, progress)
 	}
 
 	if *table1 {
@@ -276,6 +295,65 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// errChaos marks a chaos sweep that found invariant violations or failed
+// the reproducibility check (exit 1).
+var errChaos = errors.New("chaos sweep failed")
+
+// parseChaosSpec parses the -chaos argument "seed,rate".
+func parseChaosSpec(spec string) (seed uint64, rate float64, err error) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("vosim: -chaos wants \"seed,rate\", got %q", spec)
+	}
+	seed, err = strconv.ParseUint(strings.TrimSpace(parts[0]), 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("vosim: bad chaos seed %q", parts[0])
+	}
+	rate, err = strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil || rate < 0 || rate > 1 {
+		return 0, 0, fmt.Errorf("vosim: bad chaos rate %q (want 0..1)", parts[1])
+	}
+	return seed, rate, nil
+}
+
+// runChaos executes the chaos sweep twice with identically-seeded
+// injectors: the first pass checks every mechanism invariant under fault
+// injection, the second proves the fault schedule and all results are
+// bit-reproducible (identical fingerprints). Violations or a fingerprint
+// mismatch exit non-zero.
+func runChaos(ctx context.Context, cfg sim.Config, spec string, stdout, stderr io.Writer, progress func(string)) error {
+	fseed, rate, err := parseChaosSpec(spec)
+	if err != nil {
+		return err
+	}
+	fcfg := fault.Config{Seed: fseed, Rate: rate}
+	first, err := sim.ChaosSweep(ctx, cfg, fcfg, progress)
+	if err != nil {
+		return err
+	}
+	second, err := sim.ChaosSweep(ctx, cfg, fcfg, progress)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "chaos sweep: %d cells, %d runs (%d degraded, %d feasible), injector seed %d rate %g\n",
+		first.Cells, first.Runs, first.DegradedRuns, first.FeasibleRuns, fseed, rate)
+	fmt.Fprintf(stdout, "faults: %s\n", first.FaultStats)
+	fmt.Fprintf(stdout, "fingerprint: %016x\n", first.Fingerprint)
+	if n := len(first.Violations); n > 0 {
+		for _, v := range first.Violations {
+			fmt.Fprintln(stderr, "violation:", v)
+		}
+		return fmt.Errorf("%w: %d invariant violations", errChaos, n)
+	}
+	if first.Fingerprint != second.Fingerprint {
+		return fmt.Errorf("%w: not reproducible, fingerprints %016x vs %016x",
+			errChaos, first.Fingerprint, second.Fingerprint)
+	}
+	fmt.Fprintln(stdout, "invariants: all VOs feasible, v(C) >= 0, payoff shares sum to v(C)")
+	fmt.Fprintln(stdout, "reproducibility: two identically-seeded sweeps produced identical fingerprints")
 	return nil
 }
 

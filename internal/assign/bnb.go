@@ -5,6 +5,8 @@ import (
 	"math"
 	"sort"
 	"time"
+
+	"gridvo/internal/fault"
 )
 
 // Options configure Solve.
@@ -33,6 +35,12 @@ type Options struct {
 	// affect lower bounds — so they cannot worsen the returned solution.
 	// The slice is read, never modified or retained.
 	SeedAssign []int
+	// Inject, when non-nil, is the deterministic fault injector visited
+	// once per solve (fault.PointSolve): it can delay the solve (Latency)
+	// or abort the search after a small node count exactly the way a
+	// context cancellation would (Cancel). The nil default costs a single
+	// pointer check.
+	Inject *fault.Injector
 }
 
 // DefaultNodeBudget bounds the search on large instances. A node costs
@@ -68,6 +76,19 @@ func SolveCtx(ctx context.Context, in *Instance, opts Options) Solution {
 	if err := in.Validate(); err != nil {
 		panic(err) // programming error: instances are built by this module's callers
 	}
+	// Fault hook: one visit per solve. A Latency plan sleeps here; a
+	// Cancel plan aborts the search after CancelAfterNodes nodes through
+	// the same path as a real context cancellation (Stats.Interrupted()
+	// becomes true, so the result is never cached).
+	var cancelAfter int64
+	if plan := opts.Inject.Visit(fault.PointSolve); plan.Fired() {
+		switch plan.Class {
+		case fault.Latency:
+			time.Sleep(plan.Sleep)
+		case fault.Cancel:
+			cancelAfter = plan.CancelAfterNodes
+		}
+	}
 	start := time.Now()
 	k, n := in.NumGSPs(), in.NumTasks()
 	sol := Solution{LowerBound: lowerBoundTotal(in)}
@@ -93,6 +114,7 @@ func SolveCtx(ctx context.Context, in *Instance, opts Options) Solution {
 	}
 
 	s := newSearcher(ctx, in, opts, budget, -1)
+	s.cancelAfter = cancelAfter
 
 	// Seed incumbents.
 	seedIncumbents(in, opts, s)
@@ -215,6 +237,9 @@ type searcher struct {
 	checkEvery   int64
 	ctxCountdown int64
 	ctxAborted   bool
+	// cancelAfter, when positive, aborts the search after that many nodes
+	// through the cancellation path — the injected mid-search fault.
+	cancelAfter int64
 
 	// Instrumentation counters feeding Solution.Stats.
 	prunedBound    int64
@@ -324,6 +349,12 @@ func (s *searcher) dfs(pos int, costSoFar float64) {
 	if s.budget > 0 && s.nodes > s.budget {
 		s.aborted = true
 		s.prunedBudget++
+		return
+	}
+	if s.cancelAfter > 0 && s.nodes > s.cancelAfter {
+		s.aborted = true
+		s.ctxAborted = true
+		s.prunedDeadline++
 		return
 	}
 	if s.ctxCountdown--; s.ctxCountdown <= 0 {

@@ -46,7 +46,9 @@ func (in *Instance) budgetCap() float64 {
 }
 
 // Validate checks the structural consistency of the instance: matching
-// matrix shapes, non-negative costs and times, positive deadline.
+// matrix shapes, finite non-negative costs and times, a finite positive
+// deadline. NaN and ±Inf entries are rejected like negative ones: they
+// would silently disable the bound comparisons of the search.
 func (in *Instance) Validate() error {
 	k := len(in.Cost)
 	if len(in.Time) != k {
@@ -61,16 +63,19 @@ func (in *Instance) Validate() error {
 			return fmt.Errorf("assign: row %d has ragged length", i)
 		}
 		for j := 0; j < n; j++ {
-			if in.Cost[i][j] < 0 || math.IsNaN(in.Cost[i][j]) {
-				return fmt.Errorf("assign: invalid cost %v at (%d,%d)", in.Cost[i][j], i, j)
+			if c := in.Cost[i][j]; c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+				return fmt.Errorf("assign: invalid cost %v at (%d,%d)", c, i, j)
 			}
-			if in.Time[i][j] < 0 || math.IsNaN(in.Time[i][j]) {
-				return fmt.Errorf("assign: invalid time %v at (%d,%d)", in.Time[i][j], i, j)
+			if tt := in.Time[i][j]; tt < 0 || math.IsNaN(tt) || math.IsInf(tt, 0) {
+				return fmt.Errorf("assign: invalid time %v at (%d,%d)", tt, i, j)
 			}
 		}
 	}
-	if k > 0 && in.Deadline <= 0 {
+	if k > 0 && (!(in.Deadline > 0) || math.IsInf(in.Deadline, 0)) {
 		return fmt.Errorf("assign: non-positive deadline %v", in.Deadline)
+	}
+	if math.IsNaN(in.Budget) {
+		return fmt.Errorf("assign: NaN budget")
 	}
 	return nil
 }

@@ -1,0 +1,17 @@
+// Package fault is the deterministic fault-injection layer of the solve
+// pipeline: a seedable PRNG-driven injector that can fire context
+// cancellations mid-branch-and-bound, artificial solve latency, power-method
+// iteration-budget exhaustion, and malformed inputs (zero trust rows,
+// NaN-poisoned cost matrices, empty coalitions) at fixed hook points in
+// assign, reputation, and mechanism.
+//
+// The contract is reproducibility: a fault schedule is a pure function of
+// the injector seed and the sequence of hook visits, so a chaos run with a
+// fixed seed produces bit-identical faults — and, because every degradation
+// path is deterministic too, bit-identical results — across repetitions.
+// Hooks take a *Injector whose nil value is a no-op, so production paths
+// pay a single pointer check when injection is disabled.
+//
+// See DESIGN.md §11 for the fault model and the degradation ladder each
+// consumer implements (exact → warm-seed → heuristic → infeasible).
+package fault

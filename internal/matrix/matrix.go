@@ -215,9 +215,11 @@ func (m *Dense) NormalizeRows(uniform bool) []int {
 			}
 			continue
 		}
-		inv := 1 / s
+		// Divide directly rather than multiplying by 1/s: for subnormal
+		// sums the reciprocal overflows to +Inf, turning a tiny-but-valid
+		// trust row into Inf/NaN. v/s with 0 ≤ v ≤ s is always in [0,1].
 		for j := range row {
-			row[j] *= inv
+			row[j] /= s
 		}
 	}
 	return zeroRows

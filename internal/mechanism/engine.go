@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
 	"gridvo/internal/assign"
 	"gridvo/internal/coalition"
+	"gridvo/internal/fault"
 )
 
 // EngineStats aggregates solver-engine activity: how many coalition
@@ -46,6 +48,12 @@ type EngineStats struct {
 	// first solve, a proxy since the true cold count for each subgraph is
 	// never computed.
 	PowerIterationsSaved int64
+	// Degraded counts fresh evaluations served below the exact tier of
+	// the degradation ladder: searches truncated by the node budget or a
+	// (real or injected) cancellation, and inputs the malformed-input
+	// guard rejected with an explicit infeasible solution instead of a
+	// solve.
+	Degraded int64
 }
 
 // Evaluations returns the total coalition evaluations the engine served
@@ -82,6 +90,7 @@ func (s EngineStats) Add(o EngineStats) EngineStats {
 		WallTime:             s.WallTime + o.WallTime,
 		PowerIterations:      s.PowerIterations + o.PowerIterations,
 		PowerIterationsSaved: s.PowerIterationsSaved + o.PowerIterationsSaved,
+		Degraded:             s.Degraded + o.Degraded,
 	}
 }
 
@@ -98,13 +107,18 @@ func (s EngineStats) Sub(o EngineStats) EngineStats {
 		WallTime:             s.WallTime - o.WallTime,
 		PowerIterations:      s.PowerIterations - o.PowerIterations,
 		PowerIterationsSaved: s.PowerIterationsSaved - o.PowerIterationsSaved,
+		Degraded:             s.Degraded - o.Degraded,
 	}
 }
 
 // String renders the stats for the cmds' summaries.
 func (s EngineStats) String() string {
-	return fmt.Sprintf("%d solves (%d warm-started), %d cache hits (%.1f%% hit rate), %d nodes, %s solver time, %d power iterations (%d saved)",
+	out := fmt.Sprintf("%d solves (%d warm-started), %d cache hits (%.1f%% hit rate), %d nodes, %s solver time, %d power iterations (%d saved)",
 		s.Solves, s.WarmStarts, s.CacheHits, 100*s.HitRate(), s.Nodes, s.WallTime, s.PowerIterations, s.PowerIterationsSaved)
+	if s.Degraded > 0 {
+		out += fmt.Sprintf(", %d degraded", s.Degraded)
+	}
+	return out
 }
 
 // Engine is the unified solve path for one scenario: every layer that
@@ -122,6 +136,7 @@ type Engine struct {
 	sc     *Scenario
 	solver assign.Solver
 	opts   assign.Options
+	inject *fault.Injector
 
 	mu      sync.Mutex
 	noCache bool
@@ -153,6 +168,20 @@ func (e *Engine) SetSolver(s assign.Solver) {
 	}
 	e.solver = s
 }
+
+// SetInjector installs a fault injector: the engine visits it once per
+// coalition evaluation (fault.PointEngine, the malformed-input faults) and
+// forwards it to the IP solver via Options.Inject (fault.PointSolve). Any
+// solve a fault touched is excluded from the cache, so injected failures
+// stay transient instead of poisoning later evaluations. Like SetSolver,
+// not safe to call concurrently with Solve; nil disables injection.
+func (e *Engine) SetInjector(in *fault.Injector) {
+	e.inject = in
+	e.opts.Inject = in
+}
+
+// Injector returns the installed fault injector (nil when disabled).
+func (e *Engine) Injector() *fault.Injector { return e.inject }
 
 // SetCacheEnabled toggles memoization (the determinism tests compare
 // cache-on and cache-off runs). Disabling does not drop entries already
@@ -215,6 +244,26 @@ func (e *Engine) Solve(ctx context.Context, members []int) assign.Solution {
 // one. Cache misses with an unusable parent degrade silently to a cold
 // solve.
 func (e *Engine) SolveWithParent(ctx context.Context, members, parent []int) assign.Solution {
+	// Fault hook: one visit per coalition evaluation. EmptyCoalition
+	// replaces the member set; PoisonCost corrupts the instance below.
+	// Either way the degraded result is returned explicitly and never
+	// cached.
+	plan := e.inject.Visit(fault.PointEngine)
+	if plan.Class == fault.EmptyCoalition {
+		members = nil
+	}
+	// Malformed-input guard, the bottom rung of the degradation ladder: an
+	// empty coalition cannot satisfy coverage (13) while tasks remain, and
+	// a corrupted instance must not reach the solver (SolveCtx treats an
+	// invalid instance as a caller bug and panics). Both come back as an
+	// explicit infeasible solution instead of an error or a panic.
+	if len(members) == 0 && e.sc.N() > 0 {
+		e.mu.Lock()
+		e.stats.Degraded++
+		e.mu.Unlock()
+		return assign.Solution{Optimal: true}
+	}
+
 	mask, keyable := memberMask(members)
 	var seed []int
 	e.mu.Lock()
@@ -241,7 +290,22 @@ func (e *Engine) SolveWithParent(ctx context.Context, members, parent []int) ass
 	if seed != nil {
 		opts.SeedAssign = projectAssign(seed, parent, members)
 	}
-	sol := e.solver.SolveCtx(ctx, e.sc.Instance(members), opts)
+	in := e.sc.Instance(members)
+	if plan.Class == fault.PoisonCost {
+		in = poisonCost(in, plan.Pick)
+	}
+	if plan.Fired() {
+		// A fault-touched instance may now be malformed; reject it here
+		// (degraded, infeasible, uncached) rather than let the solver
+		// panic. Clean solves skip this re-validation entirely.
+		if err := in.Validate(); err != nil {
+			e.mu.Lock()
+			e.stats.Degraded++
+			e.mu.Unlock()
+			return assign.Solution{}
+		}
+	}
+	sol := e.solver.SolveCtx(ctx, in, opts)
 
 	e.mu.Lock()
 	e.stats.Solves++
@@ -252,13 +316,37 @@ func (e *Engine) SolveWithParent(ctx context.Context, members, parent []int) ass
 	}
 	e.stats.Nodes += sol.Stats.Nodes
 	e.stats.WallTime += sol.Stats.WallTime
-	if keyable && !e.noCache && !sol.Stats.Interrupted() {
+	if !sol.Optimal {
+		e.stats.Degraded++
+	}
+	if keyable && !e.noCache && !sol.Stats.Interrupted() && !plan.Fired() {
 		cached := sol
 		cached.Assign = append([]int(nil), sol.Assign...)
 		e.cache[mask] = cached
 	}
 	e.mu.Unlock()
 	return sol
+}
+
+// poisonCost returns a copy of the instance with one cost entry set to NaN
+// — the injected malformed-matrix input. Cost rows are deep-copied so the
+// scenario's backing matrices stay intact; pick selects the entry.
+func poisonCost(in *assign.Instance, pick uint64) *assign.Instance {
+	k, n := in.NumGSPs(), in.NumTasks()
+	if k == 0 || n == 0 {
+		return in
+	}
+	out := &assign.Instance{
+		Cost:     make([][]float64, k),
+		Time:     in.Time,
+		Deadline: in.Deadline,
+		Budget:   in.Budget,
+	}
+	for i := range out.Cost {
+		out.Cost[i] = append([]float64(nil), in.Cost[i]...)
+	}
+	out.Cost[int(pick%uint64(k))][int((pick>>32)%uint64(n))] = math.NaN()
+	return out
 }
 
 // notePower folds one reputation solve's power-method activity into the
@@ -315,13 +403,20 @@ var errEngineScenario = errors.New("mechanism: engine belongs to a different sce
 
 // engineFor returns the engine a mechanism entry point should use: the
 // one the caller passed via Options, else a fresh engine for the
-// scenario.
+// scenario. Options.Inject, when set, is installed on the engine either
+// way (callers sharing an engine across concurrent runs must install the
+// injector themselves, before any run starts).
 func engineFor(sc *Scenario, opts *Options) (*Engine, error) {
-	if opts.Engine != nil {
-		if opts.Engine.sc != sc {
+	eng := opts.Engine
+	if eng != nil {
+		if eng.sc != sc {
 			return nil, errEngineScenario
 		}
-		return opts.Engine, nil
+	} else {
+		eng = NewEngine(sc, opts.Solver)
 	}
-	return NewEngine(sc, opts.Solver), nil
+	if opts.Inject != nil {
+		eng.SetInjector(opts.Inject)
+	}
+	return eng, nil
 }

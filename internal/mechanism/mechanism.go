@@ -7,6 +7,7 @@ import (
 
 	"gridvo/internal/assign"
 	"gridvo/internal/coalition"
+	"gridvo/internal/fault"
 	"gridvo/internal/matrix"
 	"gridvo/internal/reputation"
 	"gridvo/internal/trust"
@@ -75,6 +76,14 @@ type Options struct {
 	// they select the same VOs — so this exists for A/B measurement and
 	// paper-faithful cold reproduction, not correctness.
 	NoWarmStart bool
+	// Inject, when non-nil, threads the deterministic fault injector
+	// through every layer of the run: it is installed on the engine
+	// (fresh or passed), forwarded to the IP solver and the per-coalition
+	// reputation solves, and visited by the loop itself before each
+	// eviction-score computation (fault.PointTrust). The nil default is a
+	// no-op. Installing an injector on a shared engine is not safe
+	// concurrently with other runs on that engine.
+	Inject *fault.Injector
 }
 
 func (o *Options) fillDefaults() {
@@ -153,6 +162,17 @@ type Result struct {
 	// nodes, and solver wall time. On a shared engine this is the
 	// per-run delta, not the engine's cumulative total.
 	Stats EngineStats
+	// Degraded reports that some layer of this run fell below the exact
+	// tier of the degradation ladder: an IP solve returned a non-optimal
+	// incumbent (node budget, deadline, or injected cancellation), a
+	// power iteration exhausted its budget without converging, or the
+	// engine's malformed-input guard rejected an evaluation. The result
+	// is still usable — every feasible iteration satisfies all
+	// constraints — but optimality of the selection is not proven.
+	Degraded bool
+	// Faults counts injected faults that fired during this run (always 0
+	// without an injector).
+	Faults int64
 	// Engine is the solve engine the run used. It carries the
 	// per-scenario solution cache, so post-hoc analyses (StabilityCheck,
 	// Pareto extraction, merge-split comparisons) reuse the mechanism's
@@ -238,6 +258,15 @@ func RunContext(ctx context.Context, sc *Scenario, opts Options, rng *xrand.RNG)
 	}
 	statsBefore := eng.Stats()
 
+	// Injection state: the engine's injector (installed by engineFor from
+	// opts.Inject, or earlier by the caller) also serves the reputation
+	// solves and the loop's own trust hook; firedBefore anchors the
+	// per-run fault count on a shared injector.
+	inj := eng.Injector()
+	opts.Reputation.Inject = inj
+	firedBefore := inj.Stats().Fired
+	degraded := false
+
 	res := &Result{Rule: opts.Eviction, Selected: -1, SelectedByProduct: -1, Engine: eng}
 
 	// Global reputation of every GSP in the full trust graph, computed
@@ -245,6 +274,9 @@ func RunContext(ctx context.Context, sc *Scenario, opts Options, rng *xrand.RNG)
 	global, globalDiag, err := reputation.Global(sc.Trust, opts.Reputation)
 	if err != nil {
 		return nil, fmt.Errorf("mechanism: global reputation: %w", err)
+	}
+	if !globalDiag.Converged {
+		degraded = true
 	}
 	res.GlobalReputation = global
 	eng.notePower(globalDiag.Iterations, 0)
@@ -280,6 +312,9 @@ func RunContext(ctx context.Context, sc *Scenario, opts Options, rng *xrand.RNG)
 		rec.Feasible = sol.Feasible
 		rec.SolverOptimal = sol.Optimal
 		rec.SolverGap = sol.Gap()
+		if !sol.Optimal {
+			degraded = true
+		}
 		if sol.Feasible {
 			rec.Cost = sol.Cost
 			rec.Value = sc.Value(&sol)
@@ -302,10 +337,22 @@ func RunContext(ctx context.Context, sc *Scenario, opts Options, rng *xrand.RNG)
 			if warm {
 				init = repInit
 			}
+			// Fault hook: a ZeroTrustRow plan clears one member's outgoing
+			// trust before the score computation, producing the dangling
+			// row the normalizer patches per eq. (1). The mutation is on a
+			// clone; curTrust itself stays intact for later iterations.
+			scoreTrust := curTrust
+			if plan := inj.Visit(fault.PointTrust); plan.Class == fault.ZeroTrustRow && scoreTrust.N() > 0 {
+				scoreTrust = scoreTrust.Clone()
+				scoreTrust.ClearOutgoing(int(plan.Pick % uint64(scoreTrust.N())))
+			}
 			var diag reputation.Diagnostics
-			scores, diag, err = evictionScores(curTrust, opts, init, coldIters)
+			scores, diag, err = evictionScores(scoreTrust, opts, init, coldIters)
 			if err != nil {
 				return nil, fmt.Errorf("mechanism: reputation on %d-member VO: %w", len(members), err)
+			}
+			if !diag.Converged && opts.Eviction != EvictLowestCentrality {
+				degraded = true
 			}
 			saved := 0
 			if diag.Warm && coldIters > diag.Iterations {
@@ -366,6 +413,8 @@ func RunContext(ctx context.Context, sc *Scenario, opts Options, rng *xrand.RNG)
 
 	selectFinal(ctx, eng, res, opts)
 	res.Stats = eng.Stats().Sub(statsBefore)
+	res.Degraded = degraded || res.Stats.Degraded > 0
+	res.Faults = inj.Stats().Fired - firedBefore
 	res.Duration = time.Since(start)
 	return res, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"gridvo/internal/assign"
 	"gridvo/internal/coalition"
+	"gridvo/internal/fault"
 	"gridvo/internal/reputation"
 )
 
@@ -43,6 +44,9 @@ type MergeSplitOptions struct {
 	// NoWarmStart disables incumbent inheritance for the merge/split
 	// candidate solves (see Options.NoWarmStart).
 	NoWarmStart bool
+	// Inject, when non-nil, installs the deterministic fault injector on
+	// the engine before the run (see Options.Inject).
+	Inject *fault.Injector
 }
 
 // MergeSplitResult reports the outcome of the merge-and-split process.
@@ -65,6 +69,10 @@ type MergeSplitResult struct {
 	// solves, cache hits against coalitions other mechanisms on the
 	// shared engine already solved, nodes, solver wall time).
 	Stats EngineStats
+	// Degraded reports that at least one coalition evaluation fell below
+	// the exact tier (truncated search, cancellation, or rejected input);
+	// the structure is still valid, but stability is not proven.
+	Degraded bool
 	// Duration is the wall-clock time of the run.
 	Duration time.Duration
 }
@@ -92,6 +100,9 @@ func MergeSplitContext(ctx context.Context, sc *Scenario, opts MergeSplitOptions
 		eng = NewEngine(sc, opts.Solver)
 	} else if eng.sc != sc {
 		return nil, errEngineScenario
+	}
+	if opts.Inject != nil {
+		eng.SetInjector(opts.Inject)
 	}
 	statsBefore := eng.Stats()
 
@@ -230,6 +241,7 @@ func MergeSplitContext(ctx context.Context, sc *Scenario, opts MergeSplitOptions
 		res.AvgReputation = reputation.AverageOf(global, res.Selected)
 	}
 	res.Stats = eng.Stats().Sub(statsBefore)
+	res.Degraded = res.Stats.Degraded > 0
 	res.Duration = time.Since(start)
 	return res, nil
 }

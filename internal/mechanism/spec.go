@@ -2,6 +2,7 @@ package mechanism
 
 import (
 	"fmt"
+	"math"
 
 	"gridvo/internal/grid"
 	"gridvo/internal/trust"
@@ -43,13 +44,13 @@ func (sp *ScenarioSpec) Validate() error {
 		return fmt.Errorf("mechanism: scenario spec has no tasks")
 	}
 	for i, g := range sp.GSPs {
-		if g.SpeedGFLOPS <= 0 {
-			return fmt.Errorf("mechanism: GSP %d (%s) has non-positive speed %v", i, g.Name, g.SpeedGFLOPS)
+		if !(g.SpeedGFLOPS > 0) || math.IsInf(g.SpeedGFLOPS, 0) {
+			return fmt.Errorf("mechanism: GSP %d (%s) has invalid speed %v", i, g.Name, g.SpeedGFLOPS)
 		}
 	}
 	for j, w := range sp.Tasks {
-		if w <= 0 {
-			return fmt.Errorf("mechanism: task %d has non-positive workload %v", j, w)
+		if !(w > 0) || math.IsInf(w, 0) {
+			return fmt.Errorf("mechanism: task %d has invalid workload %v", j, w)
 		}
 	}
 	if sp.Trust == nil {
@@ -66,13 +67,18 @@ func (sp *ScenarioSpec) Validate() error {
 			if len(row) != len(sp.Tasks) {
 				return fmt.Errorf("mechanism: cost row %d has %d columns for %d tasks", i, len(row), len(sp.Tasks))
 			}
+			for j, c := range row {
+				if c < 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+					return fmt.Errorf("mechanism: invalid cost %v at (%d,%d)", c, i, j)
+				}
+			}
 		}
 	}
-	if sp.Deadline <= 0 {
-		return fmt.Errorf("mechanism: non-positive deadline %v", sp.Deadline)
+	if !(sp.Deadline > 0) || math.IsInf(sp.Deadline, 0) {
+		return fmt.Errorf("mechanism: invalid deadline %v", sp.Deadline)
 	}
-	if sp.Payment <= 0 {
-		return fmt.Errorf("mechanism: non-positive payment %v", sp.Payment)
+	if !(sp.Payment > 0) || math.IsInf(sp.Payment, 0) {
+		return fmt.Errorf("mechanism: invalid payment %v", sp.Payment)
 	}
 	return nil
 }

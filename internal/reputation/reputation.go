@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"gridvo/internal/fault"
 	"gridvo/internal/matrix"
 	"gridvo/internal/trust"
 )
@@ -66,6 +67,13 @@ type Options struct {
 	// and never modified or retained. Invalid or mismatched vectors fall
 	// back to the uniform start.
 	InitialVector []float64
+	// Inject, when non-nil, is the deterministic fault injector visited
+	// once per Global call (fault.PointReputation): a NonConverge plan
+	// clamps MaxIter so the iteration exhausts its budget and returns the
+	// last iterate with Converged == false — the graceful path MaxIter
+	// exhaustion already takes, now exercisable on demand. The nil default
+	// costs a single pointer check.
+	Inject *fault.Injector
 }
 
 // IsZero reports whether every option holds its zero value. The mechanism
@@ -73,7 +81,8 @@ type Options struct {
 // struct is not comparable with ==).
 func (o *Options) IsZero() bool {
 	return o.Epsilon == 0 && o.MaxIter == 0 && o.Stop == StopNormDiff &&
-		o.Damping == 0 && !o.DanglingUniform && o.InitialVector == nil
+		o.Damping == 0 && !o.DanglingUniform && o.InitialVector == nil &&
+		o.Inject == nil
 }
 
 // DefaultEpsilon is the convergence threshold used when Options.Epsilon is
@@ -111,6 +120,11 @@ func Global(g *trust.Graph, opts Options) ([]float64, Diagnostics, error) {
 	n := g.N()
 	if n == 0 {
 		return nil, Diagnostics{}, ErrEmptyGraph
+	}
+	// Fault hook: a NonConverge plan clamps the iteration budget, forcing
+	// the exhaustion path (last iterate, Converged == false, nil error).
+	if plan := opts.Inject.Visit(fault.PointReputation); plan.Class == fault.NonConverge {
+		opts.MaxIter = plan.MaxIter
 	}
 	a, dangling := g.Normalized(trust.NormalizeOptions{DanglingUniform: opts.DanglingUniform})
 	x, diag := PowerIterate(a, opts)

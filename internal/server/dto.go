@@ -116,6 +116,9 @@ type EngineStatsJSON struct {
 	// power-method work and the steps avoided by eigenvector warm starts.
 	PowerIterations      int64 `json:"power_iterations"`
 	PowerIterationsSaved int64 `json:"power_iterations_saved"`
+	// DegradedSolves counts evaluations served below the exact tier of
+	// the degradation ladder (truncated searches, rejected inputs).
+	DegradedSolves int64 `json:"degraded_solves"`
 }
 
 func engineStatsJSON(s mechanism.EngineStats) EngineStatsJSON {
@@ -131,6 +134,7 @@ func engineStatsJSON(s mechanism.EngineStats) EngineStatsJSON {
 		SolverMS:             float64(s.WallTime) / float64(time.Millisecond),
 		PowerIterations:      s.PowerIterations,
 		PowerIterationsSaved: s.PowerIterationsSaved,
+		DegradedSolves:       s.Degraded,
 	}
 }
 
@@ -159,7 +163,18 @@ type FormResponse struct {
 	// Partial reports that the request deadline expired mid-run: the
 	// result uses best heuristic incumbents and is not proven optimal.
 	Partial bool `json:"partial"`
-	// Engine reports this run's fresh solves vs cache hits.
+	// Degraded reports that some layer of the run fell below the exact
+	// tier of the degradation ladder (truncated or cancelled search,
+	// non-converged power iteration, rejected input): the VO returned is
+	// feasible but not proven optimal. Partial implies Degraded; Degraded
+	// alone (e.g. under injected faults, with 200 status) means the
+	// request budget was NOT the cause.
+	Degraded bool `json:"degraded"`
+	// Retries counts bounded retries performed for injected transient
+	// faults before this reply.
+	Retries int `json:"retries,omitempty"`
+	// Engine reports this run's fresh solves vs cache hits (summed over
+	// retries, when any).
 	Engine     EngineStatsJSON `json:"engine"`
 	DurationMS float64         `json:"duration_ms"`
 }

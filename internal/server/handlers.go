@@ -44,6 +44,9 @@ func (s *Server) engineFor(sc *mechanism.Scenario) (*mechanism.Scenario, *mechan
 		return ent.sc, ent.eng
 	}
 	eng := mechanism.NewEngine(sc, s.cfg.Solver)
+	if s.cfg.Inject != nil {
+		eng.SetInjector(s.cfg.Inject)
+	}
 	s.engines.add(key, engineEntry{sc: sc, eng: eng})
 	return sc, eng
 }
@@ -74,19 +77,41 @@ func (s *Server) handleForm(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.solveContext(r, req.TimeoutMS)
 	defer cancel()
 	start := time.Now()
-	res, err := gridvo.FormVOEngine(ctx, eng, rule, req.Seed)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
-		return
+
+	// Bounded retry with backoff: a run degraded by *injected* transient
+	// faults (res.Faults > 0) is retried against the now-warmer engine
+	// cache while the request deadline allows. Runs degraded only by the
+	// deadline itself are never retried — that budget is already spent.
+	var res *gridvo.Result
+	var stats mechanism.EngineStats
+	retries := 0
+	for attempt := 0; ; attempt++ {
+		res, err = gridvo.FormVOEngine(ctx, eng, rule, req.Seed)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		stats = stats.Add(res.Stats)
+		if !res.Degraded || res.Faults == 0 || attempt >= s.cfg.MaxRetries || ctx.Err() != nil {
+			break
+		}
+		retries++
+		s.metrics.retried()
+		select {
+		case <-time.After(s.cfg.RetryBackoff << uint(attempt)):
+		case <-ctx.Done():
+		}
 	}
-	s.metrics.addEngine(res.Stats)
+	s.metrics.addEngine(stats)
 
 	partial := ctx.Err() != nil
 	resp := FormResponse{
 		Rule:             res.Rule.String(),
 		GlobalReputation: res.GlobalReputation,
 		Partial:          partial,
-		Engine:           engineStatsJSON(res.Stats),
+		Degraded:         res.Degraded,
+		Retries:          retries,
+		Engine:           engineStatsJSON(stats),
 		DurationMS:       float64(time.Since(start)) / float64(time.Millisecond),
 	}
 	if final := res.Final(); final != nil {

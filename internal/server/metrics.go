@@ -25,6 +25,12 @@ type Metrics struct {
 	inFlight  atomic.Int64
 	responses [6]atomic.Int64 // status class: index 2 = 2xx, 4 = 4xx, 5 = 5xx
 
+	// shed / panics / retries count load-shedded requests (429), handler
+	// panics contained by the middleware, and bounded solve retries.
+	shed    atomic.Int64
+	panics  atomic.Int64
+	retries atomic.Int64
+
 	engine struct {
 		solves          atomic.Int64
 		cacheHits       atomic.Int64
@@ -35,6 +41,7 @@ type Metrics struct {
 		solverNS        atomic.Int64
 		powerIters      atomic.Int64
 		powerItersSaved atomic.Int64
+		degraded        atomic.Int64
 	}
 
 	latency struct {
@@ -81,6 +88,19 @@ func (m *Metrics) response(status int, elapsed time.Duration) {
 	m.latency.sumNS.Add(int64(elapsed))
 }
 
+// shedded counts a request rejected with 429 because every solve slot was
+// busy.
+func (m *Metrics) shedded() { m.shed.Add(1) }
+
+// panicked counts a handler panic contained by the middleware.
+func (m *Metrics) panicked() { m.panics.Add(1) }
+
+// retried counts one bounded retry of a fault-degraded solve.
+func (m *Metrics) retried() { m.retries.Add(1) }
+
+// Shed returns the number of load-shedded (429) requests so far.
+func (m *Metrics) Shed() int64 { return m.shed.Load() }
+
 // addEngine folds one request's solver-engine delta into the totals.
 func (m *Metrics) addEngine(s mechanism.EngineStats) {
 	m.engine.solves.Add(s.Solves)
@@ -92,6 +112,7 @@ func (m *Metrics) addEngine(s mechanism.EngineStats) {
 	m.engine.solverNS.Add(int64(s.WallTime))
 	m.engine.powerIters.Add(s.PowerIterations)
 	m.engine.powerItersSaved.Add(s.PowerIterationsSaved)
+	m.engine.degraded.Add(s.Degraded)
 }
 
 // EngineTotals returns the cumulative engine stats served so far.
@@ -106,6 +127,7 @@ func (m *Metrics) EngineTotals() mechanism.EngineStats {
 		WallTime:             time.Duration(m.engine.solverNS.Load()),
 		PowerIterations:      m.engine.powerIters.Load(),
 		PowerIterationsSaved: m.engine.powerItersSaved.Load(),
+		Degraded:             m.engine.degraded.Load(),
 	}
 }
 
@@ -123,7 +145,12 @@ type MetricsSnapshot struct {
 	// included).
 	Engines int             `json:"engines"`
 	Engine  EngineStatsJSON `json:"engine"`
-	Latency LatencySnapshot `json:"latency_ms"`
+	// ShedTotal / PanicsTotal / RetriesTotal count 429 load-shed rejections,
+	// contained handler panics, and bounded solve retries.
+	ShedTotal    int64           `json:"shed_total"`
+	PanicsTotal  int64           `json:"panics_total"`
+	RetriesTotal int64           `json:"retries_total"`
+	Latency      LatencySnapshot `json:"latency_ms"`
 }
 
 // LatencySnapshot is the request latency histogram in milliseconds.
@@ -144,6 +171,9 @@ func (m *Metrics) Snapshot(engines int) MetricsSnapshot {
 		InFlight:      m.inFlight.Load(),
 		Engines:       engines,
 		Engine:        engineStatsJSON(m.EngineTotals()),
+		ShedTotal:     m.shed.Load(),
+		PanicsTotal:   m.panics.Load(),
+		RetriesTotal:  m.retries.Load(),
 	}
 	m.mu.Lock()
 	for route, c := range m.requests {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"gridvo/internal/assign"
+	"gridvo/internal/fault"
 )
 
 // Config parameterizes a Server. The zero value selects sensible defaults
@@ -26,14 +27,29 @@ type Config struct {
 	// 0 selects 8 MiB.
 	MaxBodyBytes int64
 	// MaxInFlight bounds concurrently served solve requests (healthz and
-	// metrics are exempt); excess requests wait, and get 503 if their
-	// context expires before a slot frees. 0 selects 2×GOMAXPROCS.
+	// metrics are exempt); excess requests are shed immediately with 429
+	// and a Retry-After header rather than queued unboundedly. 0 selects
+	// 2×GOMAXPROCS.
 	MaxInFlight int
 	// EngineCacheSize bounds the scenario-engine LRU. 0 selects 64.
 	EngineCacheSize int
 	// Solver configures the branch-and-bound of every engine the server
 	// creates.
 	Solver assign.Options
+	// Inject, when non-nil, installs the deterministic fault injector on
+	// every engine the server creates — the chaos-testing path; nil (the
+	// production default) is a no-op.
+	Inject *fault.Injector
+	// MaxRetries bounds the bounded-retry-with-backoff loop applied to
+	// /v1/vo/form when a run degrades because injected faults fired: the
+	// run is repeated (against the now-warmer engine cache) up to this
+	// many extra times while the request deadline allows. 0 disables
+	// retries. Real deadline expiry is never retried — the budget is
+	// already spent.
+	MaxRetries int
+	// RetryBackoff is the base delay between retries, doubled each
+	// attempt; 0 selects 5ms.
+	RetryBackoff time.Duration
 }
 
 func (c *Config) fillDefaults() {
@@ -48,6 +64,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.EngineCacheSize == 0 {
 		c.EngineCacheSize = 64
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 5 * time.Millisecond
 	}
 }
 
@@ -99,8 +118,9 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// wrap applies the common middleware: request metrics, the concurrency
-// semaphore (solve endpoints only), and the body-size limit.
+// wrap applies the common middleware: request metrics, panic containment,
+// load shedding via the concurrency semaphore (solve endpoints only), and
+// the body-size limit.
 func (s *Server) wrap(route string, limited bool, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -109,12 +129,27 @@ func (s *Server) wrap(route string, limited bool, h http.HandlerFunc) http.Handl
 		defer func() {
 			s.metrics.response(sw.status, time.Since(start))
 		}()
+		// Panic containment: a handler panic (e.g. a malformed instance
+		// that slipped past validation into the solver) becomes a 500
+		// JSON error instead of a dropped connection.
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.metrics.panicked()
+				writeError(sw, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec))
+			}
+		}()
 		if limited {
+			// Load shedding: when every solve slot is busy, reject
+			// immediately with 429 + Retry-After instead of queueing
+			// unboundedly — queued solves would start with their deadline
+			// already partly spent and amplify the overload.
 			select {
 			case s.sem <- struct{}{}:
 				defer func() { <-s.sem }()
-			case <-r.Context().Done():
-				writeError(sw, http.StatusServiceUnavailable, "server saturated; request cancelled while queued")
+			default:
+				s.metrics.shedded()
+				sw.Header().Set("Retry-After", "1")
+				writeError(sw, http.StatusTooManyRequests, "server saturated; retry later")
 				return
 			}
 			r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)

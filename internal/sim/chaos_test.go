@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"gridvo/internal/fault"
+)
+
+func chaosConfig(seed uint64) Config {
+	cfg := QuickConfig(seed)
+	cfg.ProgramSizes = []int{32, 64}
+	cfg.Repetitions = 2
+	cfg.NumGSPs = 6
+	cfg.TrustEdgeProb = 0.35
+	cfg.TraceJobs = 1500
+	cfg.Solver.NodeBudget = 100_000
+	return cfg
+}
+
+// TestChaosSweepInvariantsHold: a sweep under aggressive injection fires
+// faults, degrades runs, and still upholds every mechanism invariant.
+func TestChaosSweepInvariantsHold(t *testing.T) {
+	fcfg := fault.Config{Seed: 11, Rate: 0.4, CancelNodes: 8}
+	rep, err := ChaosSweep(context.Background(), chaosConfig(5), fcfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cells != 4 || rep.Runs != 8 {
+		t.Fatalf("cells=%d runs=%d, want 4/8", rep.Cells, rep.Runs)
+	}
+	if rep.FaultStats.Fired == 0 {
+		t.Fatalf("rate-0.4 sweep fired no faults: %v", rep.FaultStats)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("invariant violation: %s", v)
+	}
+	if rep.FeasibleRuns == 0 {
+		t.Fatal("no run returned a feasible VO; degradation should preserve incumbents")
+	}
+}
+
+// TestChaosSweepDeterministic: identical seeds produce bit-identical fault
+// schedules and results.
+func TestChaosSweepDeterministic(t *testing.T) {
+	fcfg := fault.Config{Seed: 23, Rate: 0.5, CancelNodes: 8}
+	a, err := ChaosSweep(context.Background(), chaosConfig(7), fcfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ChaosSweep(context.Background(), chaosConfig(7), fcfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint != b.Fingerprint {
+		t.Fatalf("fingerprints diverge: %x vs %x", a.Fingerprint, b.Fingerprint)
+	}
+	if a.FaultStats != b.FaultStats {
+		t.Fatalf("fault schedules diverge: %v vs %v", a.FaultStats, b.FaultStats)
+	}
+	if a.DegradedRuns != b.DegradedRuns || a.FeasibleRuns != b.FeasibleRuns {
+		t.Fatalf("outcomes diverge: %+v vs %+v", a, b)
+	}
+}
+
+// TestChaosSweepSeedSensitivity: different fault seeds produce different
+// schedules (with overwhelming probability at rate 0.5 over hundreds of
+// visits).
+func TestChaosSweepSeedSensitivity(t *testing.T) {
+	a, err := ChaosSweep(context.Background(), chaosConfig(7), fault.Config{Seed: 1, Rate: 0.5, CancelNodes: 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ChaosSweep(context.Background(), chaosConfig(7), fault.Config{Seed: 2, Rate: 0.5, CancelNodes: 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FaultStats == b.FaultStats && a.Fingerprint == b.Fingerprint {
+		t.Fatalf("seeds 1 and 2 produced identical schedules and results: %v", a.FaultStats)
+	}
+}
+
+// TestChaosSweepRateZeroIsClean: a zero-rate injector is a no-op — nothing
+// fires, nothing degrades, and the sweep is violation-free.
+func TestChaosSweepRateZeroIsClean(t *testing.T) {
+	cfg := chaosConfig(9)
+	// Remove the legitimate (non-injected) degradation sources so any
+	// degraded run would have to come from the injector, which must stay
+	// silent at rate 0: lift the node budget and damp the power iteration
+	// (the tiny near-periodic trust graphs otherwise exhaust MaxIter).
+	cfg.Solver.NodeBudget = 0
+	cfg.Mechanism.Reputation.Damping = 0.15
+	cfg.Mechanism.Reputation.DanglingUniform = true
+	rep, err := ChaosSweep(context.Background(), cfg, fault.Config{Seed: 3, Rate: 0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FaultStats.Fired != 0 {
+		t.Fatalf("rate-0 injector fired %d faults", rep.FaultStats.Fired)
+	}
+	if rep.DegradedRuns != 0 {
+		t.Fatalf("clean sweep reported %d degraded runs", rep.DegradedRuns)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("clean sweep reported violations: %v", rep.Violations)
+	}
+}

@@ -2,6 +2,7 @@ package trust
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"gridvo/internal/matrix"
@@ -26,16 +27,18 @@ func NewGraph(n int) *Graph {
 }
 
 // FromMatrix builds a graph from a square weight matrix; entry (i,j) is
-// u_ij. Negative weights and a non-square matrix are rejected with an error
-// because they typically indicate corrupted input files.
+// u_ij. Negative or non-finite weights and a non-square matrix are rejected
+// with an error because they typically indicate corrupted input files — a
+// NaN that slips in here would propagate through row normalization into
+// every reputation score.
 func FromMatrix(w *matrix.Dense) (*Graph, error) {
 	if w.Rows() != w.Cols() {
 		return nil, fmt.Errorf("trust: weight matrix is %dx%d, want square", w.Rows(), w.Cols())
 	}
 	for i := 0; i < w.Rows(); i++ {
 		for j := 0; j < w.Cols(); j++ {
-			if w.At(i, j) < 0 {
-				return nil, fmt.Errorf("trust: negative weight %v at (%d,%d)", w.At(i, j), i, j)
+			if u := w.At(i, j); u < 0 || math.IsNaN(u) || math.IsInf(u, 0) {
+				return nil, fmt.Errorf("trust: invalid weight %v at (%d,%d)", u, i, j)
 			}
 		}
 	}
@@ -47,11 +50,12 @@ func (g *Graph) N() int { return g.n }
 
 // SetTrust sets the direct trust u_ij that GSP i assigns to GSP j. Trust is
 // asymmetric; setting (i,j) says nothing about (j,i). Self-trust (i == i)
-// is allowed but conventionally zero. It panics on a negative weight, which
-// has no meaning in the model.
+// is allowed but conventionally zero. It panics on a negative or non-finite
+// weight, which has no meaning in the model (and, for NaN, would poison the
+// row normalization of eq. 1).
 func (g *Graph) SetTrust(i, j int, u float64) {
-	if u < 0 {
-		panic(fmt.Sprintf("trust: negative trust %v", u))
+	if u < 0 || math.IsNaN(u) || math.IsInf(u, 0) {
+		panic(fmt.Sprintf("trust: invalid trust weight %v", u))
 	}
 	g.w.Set(i, j, u)
 }
@@ -125,6 +129,19 @@ func (g *Graph) Clone() *Graph {
 		c.labels = append([]string(nil), g.labels...)
 	}
 	return c
+}
+
+// ClearOutgoing removes every outgoing trust edge of GSP i, leaving the
+// row dangling (the Σ_k u_ik = 0 case of eq. 1, which Normalized patches
+// per NormalizeOptions). The chaos harness uses it to inject degenerate
+// trust inputs. It panics if i is out of range.
+func (g *Graph) ClearOutgoing(i int) {
+	if i < 0 || i >= g.n {
+		panic(fmt.Sprintf("trust: ClearOutgoing(%d) out of range [0,%d)", i, g.n))
+	}
+	for j := 0; j < g.n; j++ {
+		g.w.Set(i, j, 0)
+	}
 }
 
 // WeightMatrix returns a copy of the raw trust weight matrix (u values,

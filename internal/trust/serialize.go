@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 )
@@ -51,8 +52,8 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 		if e.From < 0 || e.From >= gj.N || e.To < 0 || e.To >= gj.N {
 			return fmt.Errorf("trust: edge (%d,%d) out of range [0,%d)", e.From, e.To, gj.N)
 		}
-		if e.Weight <= 0 {
-			return fmt.Errorf("trust: edge (%d,%d) has non-positive weight %v", e.From, e.To, e.Weight)
+		if !(e.Weight > 0) || math.IsInf(e.Weight, 0) {
+			return fmt.Errorf("trust: edge (%d,%d) has invalid weight %v", e.From, e.To, e.Weight)
 		}
 		ng.SetTrust(e.From, e.To, e.Weight)
 	}
