@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -93,7 +94,146 @@ func TestRunBaselineMode(t *testing.T) {
 
 func TestRunBaselineMissing(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if err := run([]string{"-baseline", filepath.Join(t.TempDir(), "nope.json")}, &stdout, &stderr); err == nil {
+	err := run([]string{"-baseline", filepath.Join(t.TempDir(), "nope.json")}, &stdout, &stderr)
+	if err == nil {
 		t.Fatal("missing baseline accepted")
+	}
+	if !strings.Contains(err.Error(), "baseline") {
+		t.Fatalf("error does not identify the baseline file: %v", err)
+	}
+}
+
+func TestRunBaselineMalformed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-baseline", path}, &stdout, &stderr); err == nil {
+		t.Fatal("malformed baseline accepted")
+	}
+}
+
+// writeBaseline hand-crafts a baseline report file so edge cases don't
+// need a second sweep to produce.
+func writeBaseline(t *testing.T, report reportJSON) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "base.json")
+	data, err := json.Marshal(&report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunBaselineNoPoints: a report whose warm side never ran (zero
+// sweep points) cannot anchor a comparison and must be rejected before
+// any sweep starts.
+func TestRunBaselineNoPoints(t *testing.T) {
+	path := writeBaseline(t, reportJSON{Tool: "benchjson", Seed: 7, Sizes: []int{32}, Reps: 1})
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-baseline", path}, &stdout, &stderr)
+	if err == nil {
+		t.Fatal("baseline without warm points accepted")
+	}
+	if !strings.Contains(err.Error(), "no warm sweep points") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestRunBaselineDisjointSizes: a baseline whose benchmark set shares no
+// program sizes with the current sweep must fail the selection check
+// rather than silently comparing mismatched points.
+func TestRunBaselineDisjointSizes(t *testing.T) {
+	path := writeBaseline(t, reportJSON{
+		Tool: "benchjson", Seed: 7, Sizes: []int{48}, Reps: 1,
+		Warm: sideJSON{
+			Seconds: 1, Runs: 1,
+			Points: []pointJSON{{
+				Size:       48,
+				TVOFPayoff: []float64{1},
+				TVOFSize:   []float64{3},
+				TVOFRep:    []float64{0.5},
+			}},
+		},
+	})
+	out := filepath.Join(t.TempDir(), "compare.json")
+	var stdout, stderr bytes.Buffer
+	// Explicit -sizes overrides the baseline's, so the two sweeps cover
+	// disjoint benchmark sets.
+	err := run([]string{"-baseline", path, "-out", out, "-sizes", "32", "-trace-jobs", "500"}, &stdout, &stderr)
+	if err == nil {
+		t.Fatal("disjoint benchmark sets compared as identical")
+	}
+	data, err2 := os.ReadFile(out)
+	if err2 != nil {
+		t.Fatalf("report not written on divergence: %v", err2)
+	}
+	var report reportJSON
+	if err2 := json.Unmarshal(data, &report); err2 != nil {
+		t.Fatal(err2)
+	}
+	if report.IdenticalSelection || report.SelectionNote == "" {
+		t.Fatalf("divergence not recorded in report: %+v", report)
+	}
+}
+
+// TestRunBaselineZeroIterationEntries: a baseline point recorded with
+// the right size but zero repetitions (empty per-rep arrays) is a shape
+// mismatch, not a vacuous pass.
+func TestRunBaselineZeroIterationEntries(t *testing.T) {
+	path := writeBaseline(t, reportJSON{
+		Tool: "benchjson", Seed: 7, Sizes: []int{32}, Reps: 1,
+		Warm: sideJSON{
+			Seconds: 1, Runs: 1,
+			Points: []pointJSON{{Size: 32}},
+		},
+	})
+	out := filepath.Join(t.TempDir(), "compare.json")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-baseline", path, "-out", out, "-trace-jobs", "500"}, &stdout, &stderr)
+	if err == nil {
+		t.Fatal("zero-iteration baseline entries compared as identical")
+	}
+	if !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestCompareBaselineUnits pins the comparator itself on table-driven
+// shapes, independent of any sweep.
+func TestCompareBaselineUnits(t *testing.T) {
+	point := func(size int, reps ...float64) pointJSON {
+		p := pointJSON{Size: size}
+		for _, v := range reps {
+			p.TVOFPayoff = append(p.TVOFPayoff, v)
+			p.TVOFSize = append(p.TVOFSize, v)
+			p.TVOFRep = append(p.TVOFRep, v/10)
+		}
+		return p
+	}
+	cases := []struct {
+		name      string
+		cur, base []pointJSON
+		ok        bool
+	}{
+		{"identical", []pointJSON{point(32, 3)}, []pointJSON{point(32, 3)}, true},
+		{"count mismatch", []pointJSON{point(32, 3)}, nil, false},
+		{"size mismatch", []pointJSON{point(32, 3)}, []pointJSON{point(64, 3)}, false},
+		{"rep count mismatch", []pointJSON{point(32, 3)}, []pointJSON{point(32)}, false},
+		{"selection differs", []pointJSON{point(32, 3)}, []pointJSON{point(32, 4)}, false},
+		{"both empty", nil, nil, true},
+	}
+	for _, tc := range cases {
+		ok, note := compareBaseline(tc.cur, tc.base)
+		if ok != tc.ok {
+			t.Errorf("%s: compareBaseline = %v (%s), want %v", tc.name, ok, note, tc.ok)
+		}
+		if !ok && note == "" {
+			t.Errorf("%s: divergence reported without a note", tc.name)
+		}
 	}
 }

@@ -1,0 +1,194 @@
+// Command gridvolint runs gridvo's project-specific static-analysis
+// suite (internal/analysis) over the module: determinism and
+// correctness checks that guard the repo's bit-reproducibility and
+// cancellation contracts at review time instead of test time.
+//
+// Usage:
+//
+//	gridvolint ./...                 # whole module (the CI invocation)
+//	gridvolint ./internal/assign     # one package directory
+//	gridvolint -checks maporder,floatcmp ./...
+//	gridvolint -json ./...           # machine-readable findings
+//	gridvolint -list                 # print the check catalog
+//
+// Findings print one per line as "file:line:col  [check]  message"
+// (paths relative to the module root). Exit status: 0 when the tree is
+// clean, 1 when there are findings, 2 when loading or type-checking
+// failed. Intentional exceptions are suppressed in the source with
+// "//gridvolint:ignore <check> <reason>".
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gridvo/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gridvolint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jsonOut   = fs.Bool("json", false, "emit findings as a JSON array")
+		checksArg = fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+		list      = fs.Bool("list", false, "list available checks and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, c := range analysis.All {
+			fmt.Fprintf(stdout, "%-11s %s\n", c.Name, c.Doc)
+		}
+		return 0
+	}
+
+	checks, err := selectChecks(*checksArg)
+	if err != nil {
+		fmt.Fprintln(stderr, "gridvolint:", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	diags, err := lint(".", patterns, checks)
+	if err != nil {
+		fmt.Fprintln(stderr, "gridvolint:", err)
+		return 2
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, "gridvolint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "gridvolint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// selectChecks resolves the -checks flag to a check list (nil = all).
+func selectChecks(arg string) ([]*analysis.Check, error) {
+	if arg == "" {
+		return nil, nil
+	}
+	var checks []*analysis.Check
+	for _, name := range strings.Split(arg, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		c := analysis.ByName(name)
+		if c == nil {
+			return nil, fmt.Errorf("unknown check %q (run -list for the catalog)", name)
+		}
+		checks = append(checks, c)
+	}
+	if len(checks) == 0 {
+		return nil, fmt.Errorf("-checks selected nothing")
+	}
+	return checks, nil
+}
+
+// lint loads the packages matched by patterns (relative to dir) and
+// runs the checks, returning diagnostics with module-root-relative
+// paths.
+func lint(dir string, patterns []string, checks []*analysis.Check) ([]analysis.Diagnostic, error) {
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	var pkgs []*analysis.Package
+	seen := map[string]bool{}
+	for _, pat := range patterns {
+		matched, err := resolvePattern(loader, dir, pat)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range matched {
+			if !seen[p.Path] {
+				seen[p.Path] = true
+				pkgs = append(pkgs, p)
+			}
+		}
+	}
+
+	diags := analysis.RunChecks(loader.Fset, loader.ModulePath, pkgs, checks)
+	for i := range diags {
+		if rel, err := filepath.Rel(loader.ModuleRoot, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = filepath.ToSlash(rel)
+		}
+	}
+	return diags, nil
+}
+
+// resolvePattern interprets one command-line pattern: "./..." (or any
+// path ending in /...) loads the subtree, anything else loads a single
+// package directory.
+func resolvePattern(loader *analysis.Loader, dir, pat string) ([]*analysis.Package, error) {
+	if pat == "./..." || pat == "..." {
+		return loader.LoadAll()
+	}
+	if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+		all, err := loader.LoadAll()
+		if err != nil {
+			return nil, err
+		}
+		abs, err := filepath.Abs(filepath.Join(dir, rest))
+		if err != nil {
+			return nil, err
+		}
+		var out []*analysis.Package
+		for _, p := range all {
+			if p.Dir == abs || strings.HasPrefix(p.Dir, abs+string(filepath.Separator)) {
+				out = append(out, p)
+			}
+		}
+		if len(out) == 0 {
+			return nil, fmt.Errorf("no packages match %q", pat)
+		}
+		return out, nil
+	}
+	abs, err := filepath.Abs(filepath.Join(dir, pat))
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(loader.ModuleRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("package %q is outside the module", pat)
+	}
+	path := loader.ModulePath
+	if rel != "." {
+		path = loader.ModulePath + "/" + filepath.ToSlash(rel)
+	}
+	pkg, err := loader.LoadDir(abs, path)
+	if err != nil {
+		return nil, err
+	}
+	return []*analysis.Package{pkg}, nil
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"gridvo/internal/analysis"
+)
+
+// The test binary runs with cmd/gridvolint as the working directory, so
+// patterns walk up to the module root explicitly.
+const (
+	floatcmpCorpus = "../../internal/analysis/testdata/src/floatcmp"
+	cleanPackage   = "../../internal/xrand"
+)
+
+func TestListCatalog(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr: %s", code, errb.String())
+	}
+	for _, c := range analysis.All {
+		if !strings.Contains(out.String(), c.Name) {
+			t.Errorf("-list output missing check %q:\n%s", c.Name, out.String())
+		}
+	}
+}
+
+func TestJSONFindings(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-json", floatcmpCorpus}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run on seeded corpus = %d, want 1; stderr: %s", code, errb.String())
+	}
+	var diags []analysis.Diagnostic
+	if err := json.Unmarshal([]byte(out.String()), &diags); err != nil {
+		t.Fatalf("-json output is not a diagnostic array: %v\n%s", err, out.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("-json produced an empty array but exit status was 1")
+	}
+	for _, d := range diags {
+		if d.Check != "floatcmp" {
+			t.Errorf("unexpected check %q in floatcmp corpus: %+v", d.Check, d)
+		}
+		if d.File == "" || d.Line == 0 || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+	}
+}
+
+func TestTextFindingsFormat(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-checks", "floatcmp", floatcmpCorpus}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run = %d, want 1; stderr: %s", code, errb.String())
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if !strings.Contains(line, "  [floatcmp]  ") {
+			t.Errorf("finding line not in file:line:col  [check]  message form: %q", line)
+		}
+	}
+	if !strings.Contains(errb.String(), "finding(s)") {
+		t.Errorf("stderr missing findings count: %q", errb.String())
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{cleanPackage}, &out, &errb); code != 0 {
+		t.Fatalf("run on clean package = %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if out.String() != "" {
+		t.Errorf("clean run printed findings: %s", out.String())
+	}
+}
+
+func TestUnknownCheckRejected(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-checks", "nosuchcheck", cleanPackage}, &out, &errb); code != 2 {
+		t.Fatalf("run(-checks nosuchcheck) = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown check") {
+		t.Errorf("stderr missing unknown-check error: %q", errb.String())
+	}
+}
+
+func TestEmptyChecksRejected(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-checks", " , ", cleanPackage}, &out, &errb); code != 2 {
+		t.Fatalf("run(-checks with only separators) = %d, want 2", code)
+	}
+}
+
+func TestPatternOutsideModuleRejected(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"../../.."}, &out, &errb); code != 2 {
+		t.Fatalf("run on path outside module = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "outside the module") {
+		t.Errorf("stderr missing outside-module error: %q", errb.String())
+	}
+}

@@ -1,0 +1,272 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the check that produced it, and
+// a human-readable message. The JSON form is what cmd/gridvolint -json
+// emits.
+type Diagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+// String renders the diagnostic in the canonical
+// "file:line:col  [check]  message" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d  [%s]  %s", d.File, d.Line, d.Col, d.Check, d.Message)
+}
+
+// Check is one static analysis pass. Checks are pure functions of a
+// type-checked package: they inspect the syntax trees through Pass and
+// report diagnostics; they never mutate anything.
+type Check struct {
+	// Name is the identifier used on the command line, in output, and in
+	// //gridvolint:ignore directives.
+	Name string
+	// Doc is a one-paragraph description of what the check flags and why.
+	Doc string
+	// Run inspects pass and reports findings via pass.Report.
+	Run func(pass *Pass)
+}
+
+// All lists every check in the suite, in output order.
+var All = []*Check{
+	Maporder,
+	Floatcmp,
+	Recipmul,
+	Ctxthread,
+	Noclock,
+	Randsource,
+}
+
+// ByName returns the named check, or nil.
+func ByName(name string) *Check {
+	for _, c := range All {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Pass is the per-package context handed to every check.
+type Pass struct {
+	Fset *token.FileSet
+	Pkg  *Package
+	// ModulePath is the path prefix identifying module-internal
+	// packages; checks use it to tell local calls from stdlib calls.
+	ModulePath string
+
+	check *Check
+	diags *[]Diagnostic
+}
+
+// Report records a finding of the running check at pos.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Check:   p.check.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// ObjectOf returns the object an identifier denotes (use or def), or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if obj := p.Pkg.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.Pkg.Info.Defs[id]
+}
+
+// IsFloat reports whether e has floating-point type (after unwrapping
+// named types); untyped float constants count.
+func (p *Pass) IsFloat(e ast.Expr) bool {
+	t := p.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// IsZeroConst reports whether e is a compile-time constant equal to 0.
+func (p *Pass) IsZeroConst(e ast.Expr) bool {
+	tv, ok := p.Pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	if tv.Value.Kind() != constant.Float && tv.Value.Kind() != constant.Int {
+		return false
+	}
+	v, _ := constant.Float64Val(constant.ToFloat(tv.Value))
+	return v == 0
+}
+
+// PkgFunc resolves a called expression to the *types.Func it invokes
+// (through selectors and parenthesization), or nil.
+func (p *Pass) PkgFunc(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := p.ObjectOf(fun).(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := p.ObjectOf(fun.Sel).(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// IsModuleCall reports whether call invokes a function or method defined
+// in this module (as opposed to the standard library or a builtin).
+// Iteration around module-internal calls is what the ctxthread check
+// treats as "can block".
+func (p *Pass) IsModuleCall(call *ast.CallExpr) bool {
+	fn := p.PkgFunc(call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	return path == p.ModulePath || strings.HasPrefix(path, p.ModulePath+"/")
+}
+
+// ignoreDirective is one parsed //gridvolint:ignore comment.
+type ignoreDirective struct {
+	check string
+	file  string
+	// fromLine/toLine is the suppressed range: the comment's own line and
+	// the line below, widened to a whole declaration when the directive
+	// appears in that declaration's doc comment.
+	fromLine, toLine int
+}
+
+const ignorePrefix = "//gridvolint:ignore"
+
+// parseIgnores collects suppression directives from a file. A directive
+// has the form
+//
+//	//gridvolint:ignore <check> <reason>
+//
+// and suppresses <check> on its own line and the line below — or, when
+// it appears in the doc comment of a function, type, var, or const
+// declaration, across that whole declaration. The reason is mandatory;
+// malformed directives are themselves reported so silent, unexplained
+// suppressions cannot accumulate.
+func parseIgnores(fset *token.FileSet, file *ast.File, report func(pos token.Pos, msg string)) []ignoreDirective {
+	var out []ignoreDirective
+
+	// Declaration ranges, so doc-comment directives can cover the decl.
+	type declRange struct {
+		doc      *ast.CommentGroup
+		from, to int
+	}
+	var decls []declRange
+	for _, d := range file.Decls {
+		var doc *ast.CommentGroup
+		switch d := d.(type) {
+		case *ast.FuncDecl:
+			doc = d.Doc
+		case *ast.GenDecl:
+			doc = d.Doc
+		}
+		if doc != nil {
+			decls = append(decls, declRange{doc, fset.Position(d.Pos()).Line, fset.Position(d.End()).Line})
+		}
+	}
+
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) < 2 || ByName(fields[0]) == nil {
+				report(c.Pos(), fmt.Sprintf("malformed suppression %q: want %s <check> <reason> with a known check", c.Text, ignorePrefix))
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			dir := ignoreDirective{check: fields[0], file: pos.Filename, fromLine: pos.Line, toLine: pos.Line + 1}
+			for _, dr := range decls {
+				if dr.doc.Pos() <= c.Pos() && c.Pos() <= dr.doc.End() {
+					dir.fromLine, dir.toLine = dr.from, dr.to
+					break
+				}
+			}
+			out = append(out, dir)
+		}
+	}
+	return out
+}
+
+// RunChecks runs the given checks (all of them when checks is nil) over
+// the packages and returns surviving diagnostics sorted by file, line,
+// column, and check name. Suppression directives are applied here, and
+// malformed directives surface as diagnostics of the pseudo-check
+// "ignore".
+func RunChecks(fset *token.FileSet, modulePath string, pkgs []*Package, checks []*Check) []Diagnostic {
+	if checks == nil {
+		checks = All
+	}
+	var diags []Diagnostic
+	var ignores []ignoreDirective
+
+	for _, pkg := range pkgs {
+		for _, c := range checks {
+			pass := &Pass{Fset: fset, Pkg: pkg, ModulePath: modulePath, check: c, diags: &diags}
+			c.Run(pass)
+		}
+		for _, f := range pkg.Files {
+			ignores = append(ignores, parseIgnores(fset, f, func(pos token.Pos, msg string) {
+				p := fset.Position(pos)
+				diags = append(diags, Diagnostic{File: p.Filename, Line: p.Line, Col: p.Column, Check: "ignore", Message: msg})
+			})...)
+		}
+	}
+
+	kept := diags[:0]
+	for _, d := range diags {
+		suppressed := false
+		for _, ig := range ignores {
+			if ig.check == d.Check && ig.file == d.File && ig.fromLine <= d.Line && d.Line <= ig.toLine {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	diags = kept
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+	return diags
+}

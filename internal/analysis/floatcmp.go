@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Floatcmp flags == and != between floating-point operands. After
+// rounding, two mathematically equal float expressions routinely differ
+// in the last ulp, so exact equality silently depends on evaluation
+// order and optimization level — poison for convergence thresholds and
+// reproducibility checks alike. Two exact idioms are allowed: comparison
+// against a constant zero (an IEEE-754-exact guard, e.g. before
+// dividing) and self-comparison x != x (the NaN test). Everything else
+// should go through an epsilon helper such as math.Abs(a-b) <= eps, or
+// carry a //gridvolint:ignore floatcmp <reason> directive explaining why
+// bit equality is really intended.
+var Floatcmp = &Check{
+	Name: "floatcmp",
+	Doc: "exact ==/!= between floating-point operands (use an epsilon " +
+		"helper; x==0 guards and x!=x NaN tests are allowed)",
+	Run: runFloatcmp,
+}
+
+func runFloatcmp(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !pass.IsFloat(be.X) && !pass.IsFloat(be.Y) {
+				return true
+			}
+			// Exact-zero guards are well-defined in IEEE 754.
+			if pass.IsZeroConst(be.X) || pass.IsZeroConst(be.Y) {
+				return true
+			}
+			// x != x is the NaN idiom.
+			if sameIdent(pass, be.X, be.Y) {
+				return true
+			}
+			// Comparing two untyped constants is folded at compile time.
+			if pass.isConst(be.X) && pass.isConst(be.Y) {
+				return true
+			}
+			pass.Report(be.OpPos, "exact floating-point %s comparison; use an epsilon helper", be.Op)
+			return true
+		})
+	}
+}
+
+// isConst reports whether e is a compile-time constant.
+func (p *Pass) isConst(e ast.Expr) bool {
+	tv, ok := p.Pkg.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// sameIdent reports whether x and y are the same identifier denoting the
+// same object.
+func sameIdent(pass *Pass, x, y ast.Expr) bool {
+	xi, ok1 := ast.Unparen(x).(*ast.Ident)
+	yi, ok2 := ast.Unparen(y).(*ast.Ident)
+	return ok1 && ok2 && xi.Name == yi.Name &&
+		pass.ObjectOf(xi) != nil && pass.ObjectOf(xi) == pass.ObjectOf(yi)
+}

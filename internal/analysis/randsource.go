@@ -1,0 +1,38 @@
+package analysis
+
+import (
+	"strconv"
+)
+
+// Randsource flags importing math/rand or math/rand/v2 anywhere but
+// internal/xrand. Every random draw in the module must derive from the
+// root seed through xrand's splittable streams; a stray math/rand call
+// is seeded elsewhere (or globally) and silently breaks run-to-run
+// reproducibility — the chaos sweep's fingerprint identity would fail
+// only rarely and unreproducibly, the worst kind of flake. Test files
+// are exempt (the loader never parses them); xrand itself is the one
+// package allowed to own raw generator state.
+var Randsource = &Check{
+	Name: "randsource",
+	Doc: "math/rand imported outside internal/xrand (all randomness " +
+		"must be seed-derived through xrand streams)",
+	Run: runRandsource,
+}
+
+func runRandsource(pass *Pass) {
+	if pass.Pkg.Types.Name() == "xrand" {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Report(imp.Pos(),
+					"import of %s outside internal/xrand; draw randomness from a seed-derived xrand stream", path)
+			}
+		}
+	}
+}

@@ -1,0 +1,31 @@
+// Package assign reproduces the ctxthread violation gridvolint found
+// in assign.MinMakespan: an exported branch-and-bound entry point whose
+// search loop could not observe cancellation. Fixed in this PR by
+// adding MinMakespanCtx (context polled every 1024 nodes) and
+// delegating the legacy name to it.
+package assign
+
+type instance struct {
+	time [][]float64
+}
+
+func maxTime(in *instance, j int) float64 {
+	m := in.time[0][j]
+	for g := 1; g < len(in.time); g++ {
+		if in.time[g][j] > m {
+			m = in.time[g][j]
+		}
+	}
+	return m
+}
+
+// MinMakespan drives module code in an uncancellable loop.
+func MinMakespan(in *instance) float64 { // want "accepts no context.Context"
+	best := 0.0
+	for j := 0; j < len(in.time[0]); j++ {
+		if t := maxTime(in, j); t > best {
+			best = t
+		}
+	}
+	return best
+}

@@ -1,0 +1,30 @@
+// Package regress reproduces the emission pattern the maporder check
+// exists for, in the shape internal/server/metrics.go avoided this PR:
+// /metrics snapshot assembly now collects map keys and sorts them
+// before emission instead of relying on the JSON encoder's incidental
+// key sorting. A text renderer written the naive way looks like this
+// and is nondeterministic.
+package regress
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func writeMetricsNaive(w io.Writer, requests map[string]int64) {
+	for route, n := range requests {
+		fmt.Fprintf(w, "%s %d\n", route, n) // want "map iteration order reaches fmt.Fprintf"
+	}
+}
+
+func writeMetricsSorted(w io.Writer, requests map[string]int64) {
+	routes := make([]string, 0, len(requests))
+	for route := range requests {
+		routes = append(routes, route)
+	}
+	sort.Strings(routes)
+	for _, route := range routes {
+		fmt.Fprintf(w, "%s %d\n", route, requests[route])
+	}
+}

@@ -1,0 +1,13 @@
+// This file reproduces the violation gridvolint found in lp.pivot
+// (internal/lp/lp.go): the simplex pivot row was normalized by
+// multiplying with 1/row[enter], so a subnormal pivot element would
+// have poisoned the whole tableau row with +Inf. Fixed in this PR by
+// dividing directly.
+package regress
+
+func pivotRow(row []float64, enter int) {
+	inv := 1 / row[enter]
+	for j := range row {
+		row[j] *= inv // want "multiplying by reciprocal"
+	}
+}

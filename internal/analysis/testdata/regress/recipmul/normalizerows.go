@@ -1,0 +1,26 @@
+// Package regress holds minimal reproductions of real violations the
+// gridvolint suite found (or whose fix it guards) in this tree, kept as
+// a crasher-style corpus: if a check ever stops firing on one of these,
+// the regression that let the original bug in has returned.
+//
+// This file reproduces the PR 4 fuzzer find in matrix.NormalizeRows:
+// a trust row with subnormal sum passed the sum == 0 guard, but
+// 1/sum overflowed to +Inf and turned the whole normalized row into
+// +Inf. The shipped fix divides directly.
+package regress
+
+func normalizeRows(m [][]float64) {
+	for i := range m {
+		sum := 0.0
+		for _, v := range m[i] {
+			sum += v
+		}
+		if sum == 0 {
+			continue
+		}
+		inv := 1 / sum
+		for j := range m[i] {
+			m[i][j] *= inv // want "multiplying by reciprocal"
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Package assign is golden testdata for the ctxthread check: it carries
+// a solver-core package name, so exported iterating entry points must
+// accept a context.
+package assign
+
+import (
+	"context"
+	"strconv"
+)
+
+func helper(x int) int { return x + 1 }
+
+// Search iterates over module code with no way to cancel.
+func Search(n int) int { // want "accepts no context.Context"
+	total := 0
+	for i := 0; i < n; i++ {
+		total += helper(i)
+	}
+	return total
+}
+
+// SearchUnbounded has the worst shape: for {} around module calls.
+func SearchUnbounded(n int) int { // want "accepts no context.Context"
+	total := 0
+	for {
+		total += helper(total)
+		if total > n {
+			return total
+		}
+	}
+}
+
+// SearchCtx accepts a context: satisfied.
+func SearchCtx(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			return total
+		}
+		total += helper(i)
+	}
+	return total
+}
+
+// SolveCtx is a named context-carrying options type.
+type SolveCtx struct{ Budget int64 }
+
+// SearchWithSolveCtx accepts a *Ctx-named type: satisfied.
+func SearchWithSolveCtx(sc SolveCtx, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += helper(i)
+	}
+	return total
+}
+
+// RangeTraversal only range-loops: cheap traversal, not flagged.
+func RangeTraversal(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += helper(x)
+	}
+	return total
+}
+
+// StdlibLoop iterates but drives only stdlib calls: cannot hide a solve.
+func StdlibLoop(n int) string {
+	s := ""
+	for i := 0; i < n; i++ {
+		s += strconv.Itoa(i)
+	}
+	return s
+}
+
+// Wrapper delegates without looping: the Ctx variant owns the loop.
+func Wrapper(n int) int {
+	return SearchCtx(context.Background(), n)
+}
+
+// unexportedSearch is internal machinery, not an entry point.
+func unexportedSearch(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += helper(i)
+	}
+	return total
+}

@@ -1,0 +1,15 @@
+// Package other is negative testdata for the ctxthread check: the same
+// iterating shape outside the solver-core packages is not flagged.
+package other
+
+func helper(x int) int { return x + 1 }
+
+// Search would be flagged in assign/mechanism/reputation, but this
+// package is not solver core.
+func Search(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += helper(i)
+	}
+	return total
+}

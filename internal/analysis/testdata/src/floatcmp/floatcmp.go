@@ -1,0 +1,52 @@
+// Package floatcmp is golden testdata for the floatcmp check: exact
+// equality between floating-point operands.
+package floatcmp
+
+// exactEqual is the classic hazard.
+func exactEqual(a, b float64) bool {
+	return a == b // want "exact floating-point == comparison"
+}
+
+// exactNotEqual on float32 operands.
+func exactNotEqual(a, b float32) bool {
+	return a != b // want "exact floating-point != comparison"
+}
+
+// mixedConst compares a variable against a non-zero constant.
+func mixedConst(x float64) bool {
+	return x == 0.5 // want "exact floating-point == comparison"
+}
+
+// zeroGuard is the allowed IEEE-754-exact division guard.
+func zeroGuard(x float64) bool {
+	return x == 0
+}
+
+// zeroGuardNe is the negated form.
+func zeroGuardNe(x float64) bool {
+	return x != 0.0
+}
+
+// nanTest is the allowed self-comparison NaN idiom.
+func nanTest(x float64) bool {
+	return x != x
+}
+
+// epsilonHelper is the approved comparison style.
+func epsilonHelper(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-9
+}
+
+// intCompare has no floating operands.
+func intCompare(a, b int) bool {
+	return a == b
+}
+
+// constFold compares two compile-time constants.
+func constFold() bool {
+	return 0.1+0.2 == 0.3
+}

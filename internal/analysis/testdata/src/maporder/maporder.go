@@ -1,0 +1,82 @@
+// Package maporder is golden testdata for the maporder check: ranging
+// over a map into order-sensitive sinks.
+package maporder
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// appendNoSort leaks map order into a slice that is never sorted.
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "without a later sort"
+	}
+	return keys
+}
+
+// appendThenSort is the approved collect-then-sort pattern.
+func appendThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// appendThenSortSlice uses sort.Slice, which must also count as sorting.
+func appendThenSortSlice(m map[int]float64) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// printInLoop serializes output straight from a map range.
+func printInLoop(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want "map iteration order reaches fmt.Printf"
+	}
+}
+
+// hashInLoop feeds a hash from a map range.
+func hashInLoop(m map[string]uint64) uint64 {
+	h := fnv.New64a()
+	buf := make([]byte, 8)
+	for range m {
+		h.Write(buf) // want "map iteration order reaches"
+	}
+	return h.Sum64()
+}
+
+// mapToMap copies into another map: order-insensitive, not flagged.
+func mapToMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// sliceRange appends from a slice range: slices have stable order.
+func sliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// accumulate folds map values commutatively: not flagged.
+func accumulate(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

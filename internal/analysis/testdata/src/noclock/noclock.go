@@ -1,0 +1,26 @@
+// Package noclock is golden testdata for the noclock check: wall-clock
+// reads outside the allowlisted packages.
+package noclock
+
+import "time"
+
+// stamp reads the wall clock in a replay-sensitive package.
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now in package noclock"
+}
+
+// elapsed uses time.Since, the other flagged entry point.
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since in package noclock"
+}
+
+// scaled uses only clock-free parts of the time package.
+func scaled(d time.Duration) time.Duration {
+	return 2 * d
+}
+
+// suppressed documents an intentional wall-time measurement.
+func suppressed() time.Time {
+	//gridvolint:ignore noclock golden-test exception: measurement only
+	return time.Now()
+}

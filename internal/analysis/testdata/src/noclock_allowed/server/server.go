@@ -1,0 +1,15 @@
+// Package server is negative testdata for the noclock check: the
+// service layer owns wall-clock time and is allowlisted.
+package server
+
+import "time"
+
+// uptime may read the wall clock freely.
+func uptime(start time.Time) float64 {
+	return time.Since(start).Seconds()
+}
+
+// now is likewise allowed.
+func now() time.Time {
+	return time.Now()
+}

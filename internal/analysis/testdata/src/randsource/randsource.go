@@ -1,0 +1,12 @@
+// Package randsource is golden testdata for the randsource check:
+// math/rand imported outside internal/xrand.
+package randsource
+
+import (
+	"math/rand" // want "outside internal/xrand"
+)
+
+// draw uses an unseeded-by-policy generator.
+func draw(r *rand.Rand) float64 {
+	return r.Float64()
+}

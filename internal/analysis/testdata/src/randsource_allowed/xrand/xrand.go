@@ -1,0 +1,10 @@
+// Package xrand is negative testdata for the randsource check: the one
+// package allowed to own raw generator state.
+package xrand
+
+import "math/rand"
+
+// New wraps the raw source; only this package may touch it.
+func New(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,43 @@
+// Package recipmul is golden testdata for the recipmul check:
+// reciprocal-then-multiply, the subnormal overflow pattern.
+package recipmul
+
+// scaleByReciprocal is the exact NormalizeRows bug shape: for subnormal
+// sum, inv overflows to +Inf and poisons every element.
+func scaleByReciprocal(xs []float64, sum float64) {
+	inv := 1 / sum
+	for i := range xs {
+		xs[i] *= inv // want "multiplying by reciprocal"
+	}
+}
+
+// binaryMultiply uses the reciprocal as a plain binary-* operand.
+func binaryMultiply(x, y float64) float64 {
+	r := 1.0 / y
+	return x * r // want "multiplying by reciprocal"
+}
+
+// divideDirectly is the approved form.
+func divideDirectly(xs []float64, sum float64) {
+	for i := range xs {
+		xs[i] /= sum
+	}
+}
+
+// constReciprocal is folded at compile time: no runtime hazard.
+func constReciprocal(x float64) float64 {
+	half := 1.0 / 2.0
+	return x * half
+}
+
+// reciprocalNeverMultiplied is not the hazard pattern.
+func reciprocalNeverMultiplied(x float64) float64 {
+	inv := 1 / x
+	return inv + 1
+}
+
+// integerReciprocal is integer division, out of scope.
+func integerReciprocal(n int) int {
+	inv := 1 / n
+	return 3 * inv
+}

@@ -72,6 +72,8 @@ func Solve(in *Instance, opts Options) Solution {
 // seeds heuristic incumbents, so callers under an expired deadline get a
 // usable (possibly sub-optimal) assignment whenever the heuristics find
 // one.
+//
+//gridvolint:ignore noclock Stats.WallTime measurement only, never control flow
 func SolveCtx(ctx context.Context, in *Instance, opts Options) Solution {
 	if err := in.Validate(); err != nil {
 		panic(err) // programming error: instances are built by this module's callers

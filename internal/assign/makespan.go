@@ -1,6 +1,7 @@
 package assign
 
 import (
+	"context"
 	"math"
 	"sort"
 )
@@ -14,12 +15,22 @@ import (
 // feasibility oracle: an instance with Deadline < MinMakespan is
 // infeasible no matter what the cost solver does.
 //
+// It is MinMakespanCtx with a background context.
+func MinMakespan(in *Instance, opts Options) (makespan float64, optimal bool) {
+	return MinMakespanCtx(context.Background(), in, opts)
+}
+
+// MinMakespanCtx is MinMakespan honoring ctx: the branch-and-bound
+// search polls the context alongside its node budget, and cancellation
+// returns the incumbent (an upper bound) with optimal == false — the
+// same graceful-degradation shape as SolveCtx.
+//
 // The search is branch-and-bound on tasks in descending max-duration
 // order, pruning on the incumbent makespan, warm-started with an LPT
 // (longest processing time, earliest-finish) schedule. The same node
 // budget semantics as Solve apply; when the budget is exhausted the
-// returned value is the incumbent (an upper bound) and optimal is false.
-func MinMakespan(in *Instance, opts Options) (makespan float64, optimal bool) {
+// returned value is the incumbent and optimal is false.
+func MinMakespanCtx(ctx context.Context, in *Instance, opts Options) (makespan float64, optimal bool) {
 	if err := in.Validate(); err != nil {
 		panic(err)
 	}
@@ -86,7 +97,8 @@ func MinMakespan(in *Instance, opts Options) (makespan float64, optimal bool) {
 	}
 
 	ms := &makespanSearcher{
-		in: in, k: k, n: n, order: order,
+		ctx: ctx,
+		in:  in, k: k, n: n, order: order,
 		budget: budget, best: incumbent,
 	}
 	ms.load = make([]float64, k)
@@ -95,6 +107,7 @@ func MinMakespan(in *Instance, opts Options) (makespan float64, optimal bool) {
 }
 
 type makespanSearcher struct {
+	ctx     context.Context
 	in      *Instance
 	k, n    int
 	order   []int
@@ -105,12 +118,21 @@ type makespanSearcher struct {
 	aborted bool
 }
 
+// ctxPollInterval is how many search nodes pass between context polls in
+// the makespan search — frequent enough that cancellation lands within
+// microseconds, rare enough that the check never shows up in profiles.
+const ctxPollInterval = 1024
+
 func (s *makespanSearcher) dfs(pos int, cur float64) {
 	if s.aborted {
 		return
 	}
 	s.nodes++
 	if s.budget > 0 && s.nodes > s.budget {
+		s.aborted = true
+		return
+	}
+	if s.nodes%ctxPollInterval == 0 && s.ctx.Err() != nil {
 		s.aborted = true
 		return
 	}

@@ -27,6 +27,8 @@ func SolveParallel(in *Instance, opts Options, workers int) Solution {
 // polls the context like SolveCtx does, and cancellation makes the merged
 // result carry the best incumbent found across subtrees with
 // Optimal == false.
+//
+//gridvolint:ignore noclock Stats.WallTime measurement only, never control flow
 func SolveParallelCtx(ctx context.Context, in *Instance, opts Options, workers int) Solution {
 	if err := in.Validate(); err != nil {
 		panic(err)

@@ -111,6 +111,8 @@ func ParetoFront(cands []Candidate) []Candidate {
 // ties broken toward higher average reputation, then lower index. Returns
 // -1 for an empty list. This is TVOF's final selection rule
 // (k = argmax v(C)/|C|, Algorithm 1 line 14).
+//
+//gridvolint:ignore floatcmp deterministic tie-break: bitwise-equal payoffs are the tie condition
 func BestByPayoff(cands []Candidate) int {
 	best := -1
 	for i, c := range cands {

@@ -100,6 +100,8 @@ type event struct {
 type eventQueue []event
 
 func (q eventQueue) Len() int { return len(q) }
+
+//gridvolint:ignore floatcmp heap comparator must be exact: epsilon ordering is intransitive
 func (q eventQueue) Less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at

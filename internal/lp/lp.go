@@ -360,9 +360,12 @@ func simplexBlocked(t [][]float64, basis []int, obj []float64, total int, blocke
 // pivot makes column enter basic in row leave.
 func pivot(t [][]float64, basis []int, leave, enter int) {
 	row := t[leave]
-	inv := 1 / row[enter]
+	// Divide directly rather than multiplying by 1/row[enter]: for a
+	// subnormal pivot the reciprocal overflows to +Inf even though the
+	// quotients are finite (gridvolint recipmul).
+	piv := row[enter]
 	for j := range row {
-		row[j] *= inv
+		row[j] /= piv
 	}
 	for i := range t {
 		if i == leave {

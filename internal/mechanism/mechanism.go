@@ -245,6 +245,8 @@ func Run(sc *Scenario, opts Options, rng *xrand.RNG) (*Result, error) {
 // run still completes and returns a usable result, never an
 // error-and-nothing. All solves route through one Engine (opts.Engine or
 // a fresh one), which the returned Result exposes for post-hoc analyses.
+//
+//gridvolint:ignore noclock Result.Duration measurement only, never control flow
 func RunContext(ctx context.Context, sc *Scenario, opts Options, rng *xrand.RNG) (*Result, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
@@ -501,6 +503,8 @@ func selectFinal(ctx context.Context, eng *Engine, res *Result, opts Options) {
 
 // betterPayoff orders feasible records by payoff, ties toward higher
 // average reputation, then toward larger VOs (earlier iterations).
+//
+//gridvolint:ignore floatcmp deterministic tie-break: epsilon ordering would be intransitive
 func betterPayoff(a, b *IterationRecord) bool {
 	if a.Payoff != b.Payoff {
 		return a.Payoff > b.Payoff

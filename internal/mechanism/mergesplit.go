@@ -88,6 +88,8 @@ func MergeSplit(sc *Scenario, opts MergeSplitOptions) (*MergeSplitResult, error)
 // cancellation. All characteristic-function values route through the
 // shared engine (opts.Engine or a fresh one), whose cache the
 // coalition.Game value function is built on.
+//
+//gridvolint:ignore noclock Result.Duration measurement only, never control flow
 func MergeSplitContext(ctx context.Context, sc *Scenario, opts MergeSplitOptions) (*MergeSplitResult, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err

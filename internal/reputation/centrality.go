@@ -245,6 +245,8 @@ type EigenTrustOptions struct {
 // EigenTrust computes EigenTrust-style reputation: power iteration on the
 // normalized trust matrix mixed toward the pre-trusted distribution p:
 // x ← (1−α)·Aᵀx + α·p. The result is L1-normalized.
+//
+//gridvolint:ignore ctxthread bounded by MaxIter; cancellation is enforced per-solve by mechanism.Engine
 func EigenTrust(g *trust.Graph, opts EigenTrustOptions) ([]float64, Diagnostics, error) {
 	n := g.N()
 	if n == 0 {

@@ -34,6 +34,8 @@ type message struct {
 // decentralized protocol above. It returns the same vector as Global
 // (within floating-point tolerance) and diagnostics whose Iterations
 // counts protocol rounds.
+//
+//gridvolint:ignore ctxthread bounded by Options.MaxIter; cancellation is enforced per-solve by mechanism.Engine
 func DistributedGlobal(g *trust.Graph, opts Options) ([]float64, Diagnostics, error) {
 	n := g.N()
 	if n == 0 {

@@ -137,6 +137,8 @@ func Global(g *trust.Graph, opts Options) ([]float64, Diagnostics, error) {
 // (A may be substochastic when dangling rows were kept zero; without
 // renormalization the iterate would decay in magnitude while keeping the
 // same direction). The matrix must be square.
+//
+//gridvolint:ignore ctxthread bounded by Options.MaxIter; cancellation is enforced per-solve by mechanism.Engine
 func PowerIterate(a *matrix.Dense, opts Options) ([]float64, Diagnostics) {
 	if a.Rows() != a.Cols() {
 		panic(fmt.Sprintf("reputation: PowerIterate on %dx%d matrix", a.Rows(), a.Cols()))

@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -175,9 +176,17 @@ func (m *Metrics) Snapshot(engines int) MetricsSnapshot {
 		PanicsTotal:   m.panics.Load(),
 		RetriesTotal:  m.retries.Load(),
 	}
+	// Emit routes in sorted order (the gridvolint maporder pattern):
+	// encoding/json happens to sort map keys today, but the snapshot's
+	// determinism should not hinge on the encoder's implementation.
 	m.mu.Lock()
-	for route, c := range m.requests {
-		snap.Requests[route] = c.Load()
+	routes := make([]string, 0, len(m.requests))
+	for route := range m.requests {
+		routes = append(routes, route)
+	}
+	sort.Strings(routes)
+	for _, route := range routes {
+		snap.Requests[route] = m.requests[route].Load()
 	}
 	m.mu.Unlock()
 	classes := [...]string{"", "1xx", "2xx", "3xx", "4xx", "5xx"}
