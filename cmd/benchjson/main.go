@@ -144,9 +144,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fig9Base  = fs.Int64("fig9-baseline-ns", 0, "measured BenchmarkFig9 ns/op on the baseline tree (recorded verbatim)")
 		fig9Cur   = fs.Int64("fig9-ns", 0, "measured BenchmarkFig9 ns/op on the current tree (recorded verbatim)")
 		fig9Note  = fs.String("fig9-note", "", "provenance note for the fig9 figures")
+		sparse    = fs.Bool("sparse", false, "run the sparse trust-substrate sweep (dense vs CSR reputation solves across node counts) instead of the mechanism comparison")
+		sparsePts = fs.String("sparse-points", "", `sparse sweep points as "n:degree,..." (default: 256:8 ... 1000000:20)`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *sparse {
+		points := defaultSparsePoints
+		if *sparsePts != "" {
+			var err error
+			points, err = parseSparsePoints(*sparsePts)
+			if err != nil {
+				return err
+			}
+		}
+		return runSparse(*out, *seed, points, stdout)
 	}
 
 	// With -baseline, the prior report fixes the sweep parameters so the

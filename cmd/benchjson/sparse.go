@@ -1,0 +1,203 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"gridvo/internal/reputation"
+	"gridvo/internal/trust"
+	"gridvo/internal/xrand"
+)
+
+// The -sparse mode benchmarks the PR 6 trust substrate in isolation:
+// global reputation (eq. 6 power iteration) on sparse Erdős–Rényi graphs
+// across node counts and formats. For each point it records wall time,
+// allocation volume, and solver diagnostics; where both formats run it
+// also asserts the scores agree bit for bit — the substrate's core
+// contract. Dense stops at denseMaxN because an n² matrix of one million
+// GSPs would need 8 TB; CSR continues to the million-node point.
+
+// denseMaxN bounds the dense side of the sweep (4096² floats ≈ 134 MB per
+// materialization — comfortably measurable; the next sweep point is not).
+const denseMaxN = 4096
+
+// sparsePoint describes one (n, meanDegree) cell of the sweep.
+type sparsePoint struct {
+	N          int
+	MeanDegree float64
+}
+
+// defaultSparsePoints spans the paper's scale (16 GSPs) to one million
+// nodes at mean degree ≈ 20.
+var defaultSparsePoints = []sparsePoint{
+	{256, 8},
+	{1024, 16},
+	{4096, 16},
+	{16384, 20},
+	{65536, 20},
+	{262144, 20},
+	{1000000, 20},
+}
+
+// sparseRunJSON is one measured solve: a (point, format) pair.
+type sparseRunJSON struct {
+	N          int     `json:"n"`
+	MeanDegree float64 `json:"mean_degree"`
+	Edges      int     `json:"edges"`
+	Density    float64 `json:"density"`
+	Format     string  `json:"format"`
+	// BuildSeconds is graph generation + matrix materialization;
+	// SolveSeconds is reputation.Global alone (the steady-state cost an
+	// incremental re-solve pays per batch).
+	BuildSeconds float64 `json:"build_seconds"`
+	SolveSeconds float64 `json:"solve_seconds"`
+	// AllocBytes is the heap allocation delta (runtime.MemStats
+	// TotalAlloc) across the solve — the O(nnz) vs O(n²) working-set
+	// evidence.
+	AllocBytes uint64 `json:"alloc_bytes"`
+	Iterations int    `json:"iterations"`
+	Converged  bool   `json:"converged"`
+	// BitwiseIdenticalToDense is set on CSR runs that have a dense twin:
+	// true when every score matches the dense solve bit for bit.
+	BitwiseIdenticalToDense *bool `json:"bitwise_identical_to_dense,omitempty"`
+}
+
+// sparseReportJSON is the top-level -sparse output.
+type sparseReportJSON struct {
+	Tool string          `json:"tool"`
+	Mode string          `json:"mode"`
+	Seed uint64          `json:"seed"`
+	Runs []sparseRunJSON `json:"runs"`
+	// MaxN / MaxEdges / MaxNSeconds summarize the largest solved graph
+	// for the headline "a million nodes in seconds" claim.
+	MaxN        int     `json:"max_n"`
+	MaxEdges    int     `json:"max_edges"`
+	MaxNSeconds float64 `json:"max_n_seconds"`
+	// AllBitwiseIdentical aggregates the per-run cross-format checks.
+	AllBitwiseIdentical bool `json:"all_bitwise_identical"`
+}
+
+// parseSparsePoints parses "n:deg,n:deg,..." into a point list.
+func parseSparsePoints(s string) ([]sparsePoint, error) {
+	var pts []sparsePoint
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		nd := strings.SplitN(part, ":", 2)
+		if len(nd) != 2 {
+			return nil, fmt.Errorf("bad sparse point %q (want n:degree)", part)
+		}
+		n, err := strconv.Atoi(nd[0])
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad sparse point size %q", nd[0])
+		}
+		deg, err := strconv.ParseFloat(nd[1], 64)
+		if err != nil || deg < 0 {
+			return nil, fmt.Errorf("bad sparse point degree %q", nd[1])
+		}
+		pts = append(pts, sparsePoint{N: n, MeanDegree: deg})
+	}
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("no sparse points given")
+	}
+	return pts, nil
+}
+
+// measureSolve runs one reputation solve under memory accounting.
+func measureSolve(g *trust.Graph) (scores []float64, diag reputation.Diagnostics, seconds float64, allocBytes uint64, err error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	scores, diag, err = reputation.Global(g, reputation.DefaultOptions())
+	seconds = time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	allocBytes = after.TotalAlloc - before.TotalAlloc
+	return scores, diag, seconds, allocBytes, err
+}
+
+// runSparse executes the sparse substrate sweep and writes the report.
+func runSparse(out string, seed uint64, points []sparsePoint, stdout io.Writer) error {
+	report := sparseReportJSON{Tool: "benchjson", Mode: "sparse", Seed: seed, AllBitwiseIdentical: true}
+	for _, pt := range points {
+		buildStart := time.Now()
+		g := trust.SparseErdosRenyi(xrand.New(seed).Split(fmt.Sprintf("sparse-%d", pt.N)), pt.N, pt.MeanDegree)
+		buildSec := time.Since(buildStart).Seconds()
+
+		var denseScores []float64
+		formats := []trust.Format{trust.FormatCSR}
+		if pt.N <= denseMaxN {
+			formats = []trust.Format{trust.FormatDense, trust.FormatCSR}
+		}
+		for _, f := range formats {
+			gf := g.Clone()
+			gf.SetFormat(f)
+			scores, diag, solveSec, alloc, err := measureSolve(gf)
+			if err != nil {
+				return fmt.Errorf("n=%d format=%v: %w", pt.N, f, err)
+			}
+			run := sparseRunJSON{
+				N:            pt.N,
+				MeanDegree:   pt.MeanDegree,
+				Edges:        g.NumEdges(),
+				Density:      g.Density(),
+				Format:       f.String(),
+				BuildSeconds: buildSec,
+				SolveSeconds: solveSec,
+				AllocBytes:   alloc,
+				Iterations:   diag.Iterations,
+				Converged:    diag.Converged,
+			}
+			switch f {
+			case trust.FormatDense:
+				denseScores = scores
+			case trust.FormatCSR:
+				if denseScores != nil {
+					same := len(scores) == len(denseScores)
+					for i := 0; same && i < len(scores); i++ {
+						same = math.Float64bits(scores[i]) == math.Float64bits(denseScores[i])
+					}
+					run.BitwiseIdenticalToDense = &same
+					if !same {
+						report.AllBitwiseIdentical = false
+					}
+				}
+			}
+			report.Runs = append(report.Runs, run)
+			fmt.Fprintf(stdout, "n=%-8d deg=%-4.0f %-6s edges=%-9d build=%.3fs solve=%.3fs alloc=%dMB iters=%d\n",
+				pt.N, pt.MeanDegree, f.String(), g.NumEdges(), buildSec, solveSec, alloc>>20, diag.Iterations)
+			if pt.N >= report.MaxN {
+				report.MaxN = pt.N
+				report.MaxEdges = g.NumEdges()
+				report.MaxNSeconds = solveSec
+			}
+		}
+	}
+	data, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	verdict := "all cross-format solves bitwise identical"
+	if !report.AllBitwiseIdentical {
+		verdict = "CROSS-FORMAT DIVERGENCE"
+	}
+	fmt.Fprintf(stdout, "wrote %s: max n=%d (%d edges) solved in %.2fs, %s\n",
+		out, report.MaxN, report.MaxEdges, report.MaxNSeconds, verdict)
+	if !report.AllBitwiseIdentical {
+		return fmt.Errorf("CSR and dense reputation vectors diverged; see %s", out)
+	}
+	return nil
+}

@@ -33,6 +33,7 @@ import (
 	"gridvo/internal/sim"
 	"gridvo/internal/swf"
 	"gridvo/internal/tablewriter"
+	"gridvo/internal/trust"
 )
 
 // exitDeadline is the exit code for "time budget expired with no feasible
@@ -82,6 +83,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		rounds  = fs.Int("rounds", 8, "trust-evolution rounds (with -evolution)")
 		timeout = fs.Duration("timeout", 0, "wall-clock budget for the sweep; on expiry solves degrade to heuristic incumbents (0 = none)")
 		chaos   = fs.String("chaos", "", `fault-injection chaos sweep: "seed,rate" (e.g. 7,0.3); runs the sweep twice, checks every mechanism invariant, and verifies bit-reproducibility`)
+		degree  = fs.Float64("trust-degree", 0, "mean out-degree for the sparse Erdős–Rényi trust generator (0 = paper's dense G(n,p) sampler)")
+		format  = fs.String("trust-format", "", "trust matrix representation: auto (default), dense, or csr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -115,6 +118,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *nodeCap != 0 {
 		cfg.Solver.NodeBudget = *nodeCap
 	}
+	if *degree < 0 {
+		return fmt.Errorf("-trust-degree %v must be non-negative", *degree)
+	}
+	cfg.TrustMeanDegree = *degree
+	tf, err := trust.ParseFormat(*format)
+	if err != nil {
+		return err
+	}
+	cfg.TrustFormat = tf
 	if *trace != "" {
 		f, err := os.Open(*trace)
 		if err != nil {

@@ -48,6 +48,7 @@ var All = []*Check{
 	Ctxthread,
 	Noclock,
 	Randsource,
+	Densehot,
 }
 
 // ByName returns the named check, or nil.

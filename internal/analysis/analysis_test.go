@@ -133,6 +133,14 @@ func TestNoclockGolden(t *testing.T)   { golden(t, Noclock, "src/noclock") }
 
 func TestRandsourceGolden(t *testing.T) { golden(t, Randsource, "src/randsource") }
 
+func TestDensehotGolden(t *testing.T) { golden(t, Densehot, "src/densehot/trust") }
+
+// TestDensehotSkipsOtherPackages: the same dense constructions outside
+// the trust/reputation hot-path packages produce nothing.
+func TestDensehotSkipsOtherPackages(t *testing.T) {
+	golden(t, Densehot, "src/densehot/other")
+}
+
 // TestCtxthreadSkipsOtherPackages: the same iterating shape outside the
 // solver-core package names produces nothing.
 func TestCtxthreadSkipsOtherPackages(t *testing.T) {
@@ -165,6 +173,7 @@ func TestRegressionCorpus(t *testing.T) {
 		"regress/recipmul":  Recipmul,
 		"regress/ctxthread": Ctxthread,
 		"regress/maporder":  Maporder,
+		"regress/densehot":  Densehot,
 	} {
 		t.Run(rel, func(t *testing.T) { golden(t, check, rel) })
 	}
@@ -179,6 +188,7 @@ func TestRegressionCorpusSingleCheck(t *testing.T) {
 		"regress/recipmul":  Recipmul,
 		"regress/ctxthread": Ctxthread,
 		"regress/maporder":  Maporder,
+		"regress/densehot":  Densehot,
 	} {
 		pkg := loadTestPkg(t, rel)
 		diags := RunChecks(testLoader(t).Fset, pkg.Path, []*Package{pkg}, nil)

@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// densehotPackages are the substrate packages on the trust → reputation
+// solve path, where matrices scale with the number of GSPs. A dense
+// construction there is O(n²) memory and per-iteration work — the exact
+// scaling wall the sparse substrate (DESIGN §13) removed; at the
+// million-node benchmark point a single dense trust matrix would need
+// 8 TB.
+var densehotPackages = map[string]bool{
+	"trust":      true,
+	"reputation": true,
+}
+
+// densehotFuncs are the dense allocators: constructing from scratch and
+// constructing from materialized rows.
+var densehotFuncs = map[string]bool{
+	"NewDense": true,
+	"FromRows": true,
+}
+
+// Densehot flags dense-matrix construction inside the trust/reputation
+// hot paths. Those packages must route matrix work through the
+// matrix.Matrix interface so the format decision stays with the graph's
+// density heuristic; a hard-coded dense constructor silently pins O(n²)
+// behavior regardless of what the caller selected. Deliberate dense
+// materializations (the resolved-format build, the explicit dense-copy
+// API) carry //gridvolint:ignore densehot <reason>.
+var Densehot = &Check{
+	Name: "densehot",
+	Doc: "dense matrix constructed in a trust/reputation hot path " +
+		"(O(n²) regardless of graph density; go through matrix.Matrix " +
+		"or suppress with a rationale)",
+	Run: runDensehot,
+}
+
+func runDensehot(pass *Pass) {
+	if !densehotPackages[pass.Pkg.Types.Name()] {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.PkgFunc(call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			// Suffix match rather than ModulePath+"/internal/matrix":
+			// golden testdata runs under a synthetic module path while
+			// importing the real matrix package.
+			if strings.HasSuffix(fn.Pkg().Path(), "/internal/matrix") && densehotFuncs[fn.Name()] {
+				pass.Report(call.Pos(),
+					"matrix.%s in package %s allocates O(n²) on the sparse solve path; build through the graph's matrix.Matrix route or suppress with a reason",
+					fn.Name(), pass.Pkg.Types.Name())
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,37 @@
+// Package reputation reproduces the densehot violation the sparse
+// substrate PR removed: before the matrix.Matrix interface, the global
+// reputation solver materialized the trust matrix densely before every
+// power iteration — O(n²) memory regardless of graph density, the
+// allocation that made million-node graphs impossible (a dense matrix
+// at that point is 8 TB). The fixed solver asks the graph for its
+// resolved matrix.Matrix and never names a format.
+package reputation
+
+import "gridvo/internal/matrix"
+
+// globalNaive is the pre-sparse shape: densify, then iterate.
+func globalNaive(weights [][]float64, iters int) []float64 {
+	m := matrix.FromRows(weights) // want "allocates O"
+	m.NormalizeRows(true)
+	x := make([]float64, m.Rows())
+	for i := range x {
+		x[i] = 1 / float64(len(x))
+	}
+	for it := 0; it < iters; it++ {
+		x = m.TMulVec(x)
+	}
+	return x
+}
+
+// globalFixed is the corrected shape: the caller hands over a matrix in
+// whatever format the graph's density heuristic resolved.
+func globalFixed(m matrix.Matrix, iters int) []float64 {
+	x := make([]float64, m.Rows())
+	for i := range x {
+		x[i] = 1 / float64(len(x))
+	}
+	for it := 0; it < iters; it++ {
+		x = m.TMulVec(x)
+	}
+	return x
+}

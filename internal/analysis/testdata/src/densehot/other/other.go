@@ -1,0 +1,15 @@
+// Package other is golden testdata for the densehot check's package
+// gate: identical dense constructions outside the trust/reputation
+// hot-path packages produce no findings. Tooling, tests, and the sim
+// harness are free to materialize dense matrices at their own scale.
+package other
+
+import "gridvo/internal/matrix"
+
+func buildDense(n int) matrix.Matrix {
+	return matrix.NewDense(n, n)
+}
+
+func buildFromRows(rows [][]float64) matrix.Matrix {
+	return matrix.FromRows(rows)
+}

@@ -1,0 +1,50 @@
+// Package trust is golden testdata for the densehot check: dense
+// matrix constructors inside the trust/reputation hot-path packages
+// are flagged unless they carry a rationale, while sparse builders and
+// interface-routed work pass untouched.
+package trust
+
+import "gridvo/internal/matrix"
+
+// buildDenseDirect pins the positive case: constructing a dense matrix
+// from scratch in a hot-path package.
+func buildDenseDirect(n int) matrix.Matrix {
+	return matrix.NewDense(n, n) // want "allocates O"
+}
+
+// buildFromRows pins the second allocator: materializing rows first
+// does not make the result any less O(n²).
+func buildFromRows(rows [][]float64) matrix.Matrix {
+	return matrix.FromRows(rows) // want "allocates O"
+}
+
+// buildDenseResolved carries a rationale: the caller already resolved
+// the format decision to dense, so the allocation is deliberate.
+func buildDenseResolved(n int) matrix.Matrix {
+	//gridvolint:ignore densehot golden-test exception: format already resolved to dense
+	return matrix.NewDense(n, n)
+}
+
+// buildSparse is the intended route: the CSR builder scales with the
+// number of edges, not n².
+func buildSparse(n int) matrix.Matrix {
+	b := matrix.NewBuilder(n, n)
+	b.Add(0, n-1, 1)
+	return b.Build()
+}
+
+// solveThroughInterface only touches the matrix through the interface;
+// no constructor, no finding.
+func solveThroughInterface(m matrix.Matrix, x []float64) []float64 {
+	return m.TMulVec(x)
+}
+
+// NewDense shadows the flagged name locally: a same-named function
+// outside internal/matrix is not a dense allocator.
+func NewDense(n int) []float64 {
+	return make([]float64, n)
+}
+
+func buildLocal(n int) []float64 {
+	return NewDense(n)
+}

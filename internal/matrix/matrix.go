@@ -225,10 +225,24 @@ func (m *Dense) NormalizeRows(uniform bool) []int {
 	return zeroRows
 }
 
+// NNZ returns the number of nonzero elements. Unlike CSR, Dense does not
+// track this incrementally; the count is an O(rows·cols) scan.
+func (m *Dense) NNZ() int {
+	c := 0
+	for _, v := range m.data {
+		if v != 0 {
+			c++
+		}
+	}
+	return c
+}
+
 // Submatrix returns the matrix induced by keeping the given row/column
 // indices, in the given order. It panics if idx contains an out-of-range or
 // duplicate index. The receiver must be square (trust matrices always are).
-func (m *Dense) Submatrix(idx []int) *Dense {
+// The result is always a *Dense; the Matrix return type satisfies the
+// format-agnostic interface.
+func (m *Dense) Submatrix(idx []int) Matrix {
 	if m.rows != m.cols {
 		panic("matrix: Submatrix requires a square matrix")
 	}

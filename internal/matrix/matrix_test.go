@@ -236,7 +236,7 @@ func TestSubmatrix(t *testing.T) {
 		{20, 21, 22, 23},
 		{30, 31, 32, 33},
 	})
-	s := m.Submatrix([]int{3, 1})
+	s := m.Submatrix([]int{3, 1}).(*Dense)
 	want := FromRows([][]float64{{33, 31}, {13, 11}})
 	if !s.Equal(want, 0) {
 		t.Fatalf("Submatrix =\n%v want\n%v", s, want)

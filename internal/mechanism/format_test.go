@@ -1,0 +1,91 @@
+package mechanism
+
+import (
+	"math"
+	"testing"
+
+	"gridvo/internal/trust"
+	"gridvo/internal/xrand"
+)
+
+// TestRunFormatParity pins the PR 6 contract at the mechanism level: the
+// whole TVOF pipeline — global reputation, per-iteration VO reputation on
+// induced subgraphs, eviction choices, warm-started IP solves, payoff
+// bits — must be bitwise-identical whether the trust graph materializes
+// dense or CSR. A single diverging bit would fork selections and chaos
+// fingerprints by representation.
+func TestRunFormatParity(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"warm", Options{Eviction: EvictLowestReputation}},
+		{"cold", Options{Eviction: EvictLowestReputation, NoWarmStart: true}},
+		{"random-eviction", Options{Eviction: EvictRandom}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := testScenario(1234, 6, 18)
+			scd, scc := *sc, *sc
+			scd.Trust = sc.Trust.Clone()
+			scd.Trust.SetFormat(trust.FormatDense)
+			scc.Trust = sc.Trust.Clone()
+			scc.Trust.SetFormat(trust.FormatCSR)
+
+			rd, errD := Run(&scd, tc.opts, xrand.New(77))
+			rc, errC := Run(&scc, tc.opts, xrand.New(77))
+			if errD != nil || errC != nil {
+				t.Fatalf("runs errored: dense=%v csr=%v", errD, errC)
+			}
+			if rd.Selected != rc.Selected || rd.SelectedByProduct != rc.SelectedByProduct {
+				t.Fatalf("selection differs: dense (%d,%d) csr (%d,%d)",
+					rd.Selected, rd.SelectedByProduct, rc.Selected, rc.SelectedByProduct)
+			}
+			if len(rd.Iterations) != len(rc.Iterations) {
+				t.Fatalf("iteration counts differ: %d vs %d", len(rd.Iterations), len(rc.Iterations))
+			}
+			assertBits(t, "global reputation", rd.GlobalReputation, rc.GlobalReputation)
+			for k := range rd.Iterations {
+				id, ic := rd.Iterations[k], rc.Iterations[k]
+				if len(id.Members) != len(ic.Members) {
+					t.Fatalf("iter %d: member counts differ", k)
+				}
+				for m := range id.Members {
+					if id.Members[m] != ic.Members[m] {
+						t.Fatalf("iter %d: members %v vs %v", k, id.Members, ic.Members)
+					}
+				}
+				if id.Feasible != ic.Feasible || id.Evicted != ic.Evicted {
+					t.Fatalf("iter %d: feasible/evicted differ: %+v vs %+v", k, id, ic)
+				}
+				for _, pair := range [][2]float64{
+					{id.Cost, ic.Cost},
+					{id.Value, ic.Value},
+					{id.Payoff, ic.Payoff},
+					{id.AvgReputation, ic.AvgReputation},
+					{id.TotalGlobalReputation, ic.TotalGlobalReputation},
+				} {
+					if math.Float64bits(pair[0]) != math.Float64bits(pair[1]) {
+						t.Fatalf("iter %d: payoff bits differ: dense %v csr %v", k, pair[0], pair[1])
+					}
+				}
+				assertBits(t, "VO reputation", id.Reputation, ic.Reputation)
+			}
+			fd, fc := rd.Final(), rc.Final()
+			if (fd == nil) != (fc == nil) {
+				t.Fatalf("final VO presence differs")
+			}
+		})
+	}
+}
+
+func assertBits(t *testing.T, label string, a, b []float64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: length %d vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			t.Fatalf("%s[%d]: dense %v != csr %v", label, i, a[i], b[i])
+		}
+	}
+}

@@ -17,19 +17,102 @@ type GSPSpec struct {
 	SpeedGFLOPS float64 `json:"speed_gflops"`
 }
 
+// TrustGenSpec asks Build to generate the trust graph instead of shipping
+// it inline: for large sparse graphs an explicit edge list would dominate
+// the payload, while a generator spec is a few bytes regardless of n. The
+// node count is always the spec's GSP count.
+type TrustGenSpec struct {
+	// Model selects the generator: "erdos-renyi" is the per-pair G(n,p)
+	// sampler (requires P), "sparse-erdos-renyi" the O(nnz) geometric-gap
+	// sampler (requires MeanDegree). An empty model infers one from which
+	// parameter is set.
+	Model string `json:"model,omitempty"`
+	// P is the edge probability for the erdos-renyi model.
+	P float64 `json:"p,omitempty"`
+	// MeanDegree is the expected out-degree for sparse-erdos-renyi.
+	MeanDegree float64 `json:"mean_degree,omitempty"`
+	// EnsureTrusted, when true, post-processes the graph so every node has
+	// at least one incoming edge (trust.EnsureEveryNodeTrusted).
+	EnsureTrusted bool `json:"ensure_trusted,omitempty"`
+	// Format forces the matrix representation: "auto" (default), "dense",
+	// or "csr".
+	Format string `json:"format,omitempty"`
+}
+
+// resolveModel returns the effective generator name or an error.
+func (tg *TrustGenSpec) resolveModel() (string, error) {
+	switch tg.Model {
+	case "erdos-renyi":
+		return tg.Model, nil
+	case "sparse-erdos-renyi":
+		return tg.Model, nil
+	case "":
+		if tg.MeanDegree > 0 && tg.P == 0 {
+			return "sparse-erdos-renyi", nil
+		}
+		return "erdos-renyi", nil
+	default:
+		return "", fmt.Errorf("mechanism: unknown trust generator model %q", tg.Model)
+	}
+}
+
+// Validate checks the generator parameters.
+func (tg *TrustGenSpec) Validate() error {
+	model, err := tg.resolveModel()
+	if err != nil {
+		return err
+	}
+	switch model {
+	case "erdos-renyi":
+		if tg.P < 0 || tg.P > 1 || math.IsNaN(tg.P) {
+			return fmt.Errorf("mechanism: trust generator p %v outside [0,1]", tg.P)
+		}
+	case "sparse-erdos-renyi":
+		if tg.MeanDegree < 0 || math.IsNaN(tg.MeanDegree) || math.IsInf(tg.MeanDegree, 0) {
+			return fmt.Errorf("mechanism: trust generator mean degree %v invalid", tg.MeanDegree)
+		}
+	}
+	if _, err := trust.ParseFormat(tg.Format); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Generate materializes the trust graph over m nodes from the seed.
+func (tg *TrustGenSpec) Generate(rng *xrand.RNG, m int) (*trust.Graph, error) {
+	if err := tg.Validate(); err != nil {
+		return nil, err
+	}
+	model, _ := tg.resolveModel()
+	var g *trust.Graph
+	if model == "sparse-erdos-renyi" {
+		g = trust.SparseErdosRenyi(rng.Split("edges"), m, tg.MeanDegree)
+	} else {
+		g = trust.ErdosRenyi(rng.Split("edges"), m, tg.P)
+	}
+	if tg.EnsureTrusted {
+		trust.EnsureEveryNodeTrusted(rng.Split("fix"), g)
+	}
+	f, _ := trust.ParseFormat(tg.Format)
+	g.SetFormat(f)
+	return g, nil
+}
+
 // ScenarioSpec is the portable JSON description of a Scenario — the wire
 // format shared by cmd/tvof scenario files and the gridvod HTTP API. It
 // carries the user request (tasks, deadline d, payment P), the providers,
-// the trust graph in sparse edge-list form, and optionally an explicit cost
+// the trust graph in sparse edge-list form (or a TrustGen recipe to
+// generate it from the build seed), and optionally an explicit cost
 // matrix; when Cost is omitted, Build generates a Braun-style matrix from
 // the seed (the Table I procedure).
 type ScenarioSpec struct {
-	GSPs     []GSPSpec    `json:"gsps"`
-	Tasks    []float64    `json:"tasks"`
-	Deadline float64      `json:"deadline"`
-	Payment  float64      `json:"payment"`
-	Trust    *trust.Graph `json:"trust"`
-	Cost     [][]float64  `json:"cost,omitempty"`
+	GSPs     []GSPSpec     `json:"gsps"`
+	Tasks    []float64     `json:"tasks"`
+	Deadline float64       `json:"deadline"`
+	Payment  float64       `json:"payment"`
+	Trust    *trust.Graph  `json:"trust,omitempty"`
+	TrustGen *TrustGenSpec `json:"trust_gen,omitempty"`
+	Cost     [][]float64   `json:"cost,omitempty"`
 }
 
 // Validate checks the spec's internal consistency without building the
@@ -53,11 +136,19 @@ func (sp *ScenarioSpec) Validate() error {
 			return fmt.Errorf("mechanism: task %d has invalid workload %v", j, w)
 		}
 	}
-	if sp.Trust == nil {
-		return fmt.Errorf("mechanism: scenario spec has no trust graph")
-	}
-	if sp.Trust.N() != m {
-		return fmt.Errorf("mechanism: trust graph over %d GSPs, spec has %d", sp.Trust.N(), m)
+	switch {
+	case sp.Trust == nil && sp.TrustGen == nil:
+		return fmt.Errorf("mechanism: scenario spec has no trust graph (set trust or trust_gen)")
+	case sp.Trust != nil && sp.TrustGen != nil:
+		return fmt.Errorf("mechanism: scenario spec sets both trust and trust_gen")
+	case sp.Trust != nil:
+		if sp.Trust.N() != m {
+			return fmt.Errorf("mechanism: trust graph over %d GSPs, spec has %d", sp.Trust.N(), m)
+		}
+	default:
+		if err := sp.TrustGen.Validate(); err != nil {
+			return err
+		}
 	}
 	if sp.Cost != nil {
 		if len(sp.Cost) != m {
@@ -105,6 +196,14 @@ func (sp *ScenarioSpec) Build(seed uint64) (*Scenario, error) {
 	if cost == nil {
 		cost = grid.CostMatrix(xrand.New(seed).Split("cost"), m, prog)
 	}
+	tg := sp.Trust
+	if tg == nil {
+		var err error
+		tg, err = sp.TrustGen.Generate(xrand.New(seed).Split("trustgen"), m)
+		if err != nil {
+			return nil, err
+		}
+	}
 	sc := &Scenario{
 		Program:  prog,
 		GSPs:     gsps,
@@ -112,7 +211,7 @@ func (sp *ScenarioSpec) Build(seed uint64) (*Scenario, error) {
 		Time:     grid.TimeMatrix(gsps, prog),
 		Deadline: sp.Deadline,
 		Payment:  sp.Payment,
-		Trust:    sp.Trust,
+		Trust:    tg,
 	}
 	return sc, sc.Validate()
 }

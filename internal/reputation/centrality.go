@@ -110,19 +110,29 @@ func weightedDegree(g *trust.Graph, incoming bool) []float64 {
 	n := g.N()
 	out := make([]float64, n)
 	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			w := g.Trust(i, j)
-			if w <= 0 {
-				continue
-			}
+		g.VisitNeighbors(i, func(j int, w float64) {
 			if incoming {
 				out[j] += w
 			} else {
 				out[i] += w
 			}
-		}
+		})
 	}
 	return out
+}
+
+// adjacency materializes the unweighted out-neighbour lists once so the
+// BFS-based centralities run in O(n+nnz) per source instead of probing
+// every (u,v) pair.
+func adjacency(g *trust.Graph) [][]int {
+	n := g.N()
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		g.VisitNeighbors(i, func(j int, _ float64) {
+			adj[i] = append(adj[i], j)
+		})
+	}
+	return adj
 }
 
 // closeness computes, for each node v, 1/Σ_u dist(u→v) over nodes u that
@@ -137,6 +147,7 @@ func closeness(g *trust.Graph) []float64 {
 	}
 	// BFS from each source along forward edges gives dist(source→·); we need
 	// distances *into* v, so accumulate per target.
+	adj := adjacency(g)
 	distSum := make([]float64, n)
 	reachCnt := make([]int, n)
 	queue := make([]int, 0, n)
@@ -150,8 +161,8 @@ func closeness(g *trust.Graph) []float64 {
 		for len(queue) > 0 {
 			u := queue[0]
 			queue = queue[1:]
-			for v := 0; v < n; v++ {
-				if g.Trust(u, v) > 0 && dist[v] < 0 {
+			for _, v := range adj[u] {
+				if dist[v] < 0 {
 					dist[v] = dist[u] + 1
 					queue = append(queue, v)
 				}
@@ -181,6 +192,7 @@ func betweenness(g *trust.Graph) []float64 {
 	if n < 3 {
 		return bc
 	}
+	adj := adjacency(g)
 	for s := 0; s < n; s++ {
 		// Single-source shortest paths (BFS).
 		stack := make([]int, 0, n)
@@ -197,10 +209,7 @@ func betweenness(g *trust.Graph) []float64 {
 			v := queue[0]
 			queue = queue[1:]
 			stack = append(stack, v)
-			for w := 0; w < n; w++ {
-				if g.Trust(v, w) <= 0 {
-					continue
-				}
+			for _, w := range adj[v] {
 				if dist[w] < 0 {
 					dist[w] = dist[v] + 1
 					queue = append(queue, w)

@@ -30,6 +30,12 @@ type message struct {
 	share float64
 }
 
+// outEdge is one entry of a node's normalized outgoing row.
+type outEdge struct {
+	to int
+	a  float64
+}
+
 // DistributedGlobal computes the global reputation vector with the
 // decentralized protocol above. It returns the same vector as Global
 // (within floating-point tolerance) and diagnostics whose Iterations
@@ -53,11 +59,15 @@ func DistributedGlobal(g *trust.Graph, opts Options) ([]float64, Diagnostics, er
 		return nil, Diagnostics{}, fmt.Errorf("reputation: distributed protocol does not implement damping")
 	}
 
-	// Each node's local knowledge: its normalized outgoing row.
+	// Each node's local knowledge: its normalized outgoing row, held
+	// sparsely (only the neighbours it actually sends shares to). Works for
+	// both matrix formats and keeps per-node state O(out-degree).
 	a, dangling := g.Normalized(trust.NormalizeOptions{DanglingUniform: opts.DanglingUniform})
-	rows := make([][]float64, n)
+	rows := make([][]outEdge, n)
 	for i := 0; i < n; i++ {
-		rows[i] = a.Row(i)
+		matrix.RowNonZeros(a, i, func(j int, w float64) {
+			rows[i] = append(rows[i], outEdge{to: j, a: w})
+		})
 	}
 
 	// Channels: one inbox per node per round, buffered for all senders.
@@ -78,10 +88,8 @@ func DistributedGlobal(g *trust.Graph, opts Options) ([]float64, Diagnostics, er
 			go func(i int) {
 				defer sendWG.Done()
 				xi := x[i]
-				for j, w := range rows[i] {
-					if w != 0 {
-						inbox[j] <- message{from: i, share: w * xi}
-					}
+				for _, e := range rows[i] {
+					inbox[e.to] <- message{from: i, share: e.a * xi}
 				}
 			}(i)
 		}

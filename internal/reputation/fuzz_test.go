@@ -81,5 +81,41 @@ func FuzzTrustNormalize(f *testing.F) {
 		if math.Abs(l1-1) > 1e-6 {
 			t.Fatalf("global reputation not L1-normalized: sum %v", l1)
 		}
+
+		// Format parity: normalizing the same weights through the CSR path
+		// must agree with the dense path entry for entry, and the full
+		// solve must agree bit for bit. Graph construction already dropped
+		// explicit zeros, so both representations hold identical nonzeros.
+		gd, gc := g.Clone(), g.Clone()
+		gd.SetFormat(trust.FormatDense)
+		gc.SetFormat(trust.FormatCSR)
+		ad, zd := gd.Normalized(trust.NormalizeOptions{DanglingUniform: true})
+		ac, zc := gc.Normalized(trust.NormalizeOptions{DanglingUniform: true})
+		if len(zd) != len(zc) {
+			t.Fatalf("dangling lists differ: %v vs %v", zd, zc)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if math.Float64bits(ad.At(i, j)) != math.Float64bits(ac.At(i, j)) {
+					t.Fatalf("normalized (%d,%d): dense %v != csr %v", i, j, ad.At(i, j), ac.At(i, j))
+				}
+			}
+		}
+		sd, dd, errD := Global(gd, Options{MaxIter: 500, DanglingUniform: true})
+		sc, dc, errC := Global(gc, Options{MaxIter: 500, DanglingUniform: true})
+		if (errD == nil) != (errC == nil) {
+			t.Fatalf("format-dependent error: dense=%v csr=%v", errD, errC)
+		}
+		if errD == nil {
+			if dd.Iterations != dc.Iterations || dd.Converged != dc.Converged ||
+				math.Float64bits(dd.Delta) != math.Float64bits(dc.Delta) {
+				t.Fatalf("diagnostics differ: dense %+v csr %+v", dd, dc)
+			}
+			for i := range sd {
+				if math.Float64bits(sd[i]) != math.Float64bits(sc[i]) {
+					t.Fatalf("score[%d]: dense %v != csr %v", i, sd[i], sc[i])
+				}
+			}
+		}
 	})
 }

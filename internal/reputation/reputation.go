@@ -136,10 +136,12 @@ func Global(g *trust.Graph, opts Options) ([]float64, Diagnostics, error) {
 // normalized matrix, renormalizing the iterate to unit L1 norm each step
 // (A may be substochastic when dangling rows were kept zero; without
 // renormalization the iterate would decay in magnitude while keeping the
-// same direction). The matrix must be square.
+// same direction). The matrix must be square. Any matrix.Matrix works;
+// with a CSR each step is O(nnz), and the Dense and CSR representations of
+// the same values produce bitwise-identical iterates.
 //
 //gridvolint:ignore ctxthread bounded by Options.MaxIter; cancellation is enforced per-solve by mechanism.Engine
-func PowerIterate(a *matrix.Dense, opts Options) ([]float64, Diagnostics) {
+func PowerIterate(a matrix.Matrix, opts Options) ([]float64, Diagnostics) {
 	if a.Rows() != a.Cols() {
 		panic(fmt.Sprintf("reputation: PowerIterate on %dx%d matrix", a.Rows(), a.Cols()))
 	}

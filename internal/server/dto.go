@@ -71,6 +71,70 @@ type ReputationResponse struct {
 	Dangling []int `json:"dangling,omitempty"`
 }
 
+// TrustDeltaRequest applies an edge-delta batch to the server's trust
+// store — the incremental-reputation path. Edges with weight 0 delete.
+// N, when positive, grows the store to at least that many GSPs before the
+// batch applies (new nodes start edgeless). With solve=true the store
+// re-solves the global reputation from its previous eigenvector (a warm
+// start) after the batch lands.
+//
+//	{"n": 4, "edges": [{"from":0,"to":1,"weight":0.8}, ...],
+//	 "solve": true, "include_scores": true}
+type TrustDeltaRequest struct {
+	N     int             `json:"n,omitempty"`
+	Edges []trust.DeltaOp `json:"edges"`
+	// Epsilon / MaxIter / Damping tune the re-solve as in
+	// ReputationRequest; used only with solve=true.
+	Epsilon float64 `json:"epsilon,omitempty"`
+	MaxIter int     `json:"max_iter,omitempty"`
+	Damping float64 `json:"damping,omitempty"`
+	// Solve triggers a (warm) re-solve after the batch applies.
+	Solve bool `json:"solve,omitempty"`
+	// IncludeScores returns the full reputation vector with the reply —
+	// off by default because the vector is O(n) on stores that may hold
+	// millions of GSPs.
+	IncludeScores bool `json:"include_scores,omitempty"`
+}
+
+// Validate rejects parameter combinations the solver cannot run with.
+// Edge-level validation (index range, weight domain) happens atomically
+// inside the store.
+func (r *TrustDeltaRequest) Validate() error {
+	if r.N < 0 {
+		return fmt.Errorf("negative n %d", r.N)
+	}
+	if len(r.Edges) == 0 && r.N == 0 && !r.Solve {
+		return fmt.Errorf("empty delta: no edges, no n, no solve")
+	}
+	if r.Epsilon < 0 {
+		return fmt.Errorf("negative epsilon %v", r.Epsilon)
+	}
+	if r.MaxIter < 0 {
+		return fmt.Errorf("negative max_iter %d", r.MaxIter)
+	}
+	if r.Damping < 0 || r.Damping >= 1 {
+		return fmt.Errorf("damping %v outside [0,1)", r.Damping)
+	}
+	return nil
+}
+
+// TrustDeltaResponse reports the store state after the batch (and the
+// re-solve, when requested).
+type TrustDeltaResponse struct {
+	Stats trust.StoreStats `json:"stats"`
+	// Solved reports that a re-solve ran; the solver fields below are
+	// meaningful only when it did.
+	Solved     bool `json:"solved"`
+	Iterations int  `json:"iterations,omitempty"`
+	Converged  bool `json:"converged,omitempty"`
+	// Warm reports that the solve started from the previous eigenvector
+	// rather than the uniform vector.
+	Warm bool `json:"warm,omitempty"`
+	// Scores is the reputation vector (include_scores only).
+	Scores     []float64 `json:"scores,omitempty"`
+	DurationMS float64   `json:"duration_ms"`
+}
+
 // FormRequest asks for one VO formation run on a scenario.
 type FormRequest struct {
 	// Scenario is the problem instance, in the same JSON schema cmd/tvof

@@ -8,6 +8,7 @@ import (
 	"gridvo/internal/assign"
 	"gridvo/internal/mechanism"
 	"gridvo/internal/reputation"
+	"gridvo/internal/trust"
 )
 
 // handleReputation computes the global reputation vector (eqs. 2-6,
@@ -194,6 +195,71 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusGatewayTimeout
 	}
 	writeJSON(w, status, resp)
+}
+
+// handleTrustDelta applies an edge-delta batch to the server's trust store
+// and, when asked, re-solves the global reputation warm — from the
+// eigenvector of the previous solve — instead of a cold start. This is the
+// incremental path for long-lived trust state: clients stream small deltas
+// and pay per-update solve costs proportional to how much the spectrum
+// moved, not to n.
+func (s *Server) handleTrustDelta(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req TrustDeltaRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	stats, err := s.store.ApplyDelta(req.N, req.Edges)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	resp := TrustDeltaResponse{Stats: stats}
+	if req.Solve {
+		res, st, err := s.store.Resolve(func(g *trust.Graph, warm []float64) (trust.SolveResult, error) {
+			opts := reputation.Options{
+				Epsilon:         req.Epsilon,
+				MaxIter:         req.MaxIter,
+				Damping:         req.Damping,
+				DanglingUniform: true,
+				InitialVector:   warm,
+			}
+			scores, diag, err := reputation.Global(g, opts)
+			if err != nil {
+				return trust.SolveResult{}, err
+			}
+			return trust.SolveResult{
+				Scores:     scores,
+				Iterations: diag.Iterations,
+				Converged:  diag.Converged,
+				Warm:       diag.Warm,
+			}, nil
+		})
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		resp.Stats = st
+		resp.Solved = true
+		resp.Iterations = res.Iterations
+		resp.Converged = res.Converged
+		resp.Warm = res.Warm
+		if req.IncludeScores {
+			resp.Scores = res.Scores
+		}
+	}
+	resp.DurationMS = float64(time.Since(start)) / float64(time.Millisecond)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleTrustStats reports the trust store's current shape and solve
+// counters without mutating anything.
+func (s *Server) handleTrustStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.store.Stats())
 }
 
 // handleHealthz reports liveness.

@@ -12,6 +12,7 @@ import (
 
 	"gridvo/internal/assign"
 	"gridvo/internal/fault"
+	"gridvo/internal/trust"
 )
 
 // Config parameterizes a Server. The zero value selects sensible defaults
@@ -79,6 +80,7 @@ type Server struct {
 	cfg     Config
 	metrics *Metrics
 	engines *engineCache
+	store   *trust.Store
 	sem     chan struct{}
 	mux     *http.ServeMux
 }
@@ -90,10 +92,13 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		metrics: NewMetrics(),
 		engines: newEngineCache(cfg.EngineCacheSize),
+		store:   trust.NewStore(0),
 		sem:     make(chan struct{}, cfg.MaxInFlight),
 		mux:     http.NewServeMux(),
 	}
 	s.mux.HandleFunc("POST /v1/reputation", s.wrap("/v1/reputation", true, s.handleReputation))
+	s.mux.HandleFunc("POST /v1/trust/delta", s.wrap("/v1/trust/delta", true, s.handleTrustDelta))
+	s.mux.HandleFunc("GET /v1/trust/stats", s.wrap("/v1/trust/stats", false, s.handleTrustStats))
 	s.mux.HandleFunc("POST /v1/vo/form", s.wrap("/v1/vo/form", true, s.handleForm))
 	s.mux.HandleFunc("POST /v1/assign", s.wrap("/v1/assign", true, s.handleAssign))
 	s.mux.HandleFunc("GET /healthz", s.wrap("/healthz", false, s.handleHealthz))

@@ -23,6 +23,16 @@ type Config struct {
 	NumGSPs int
 	// TrustEdgeProb is the Erdős–Rényi p (Table I: 0.1).
 	TrustEdgeProb float64
+	// TrustMeanDegree, when positive, switches trust-graph generation to
+	// the O(nnz) sparse Erdős–Rényi sampler with the given expected
+	// out-degree, overriding TrustEdgeProb. This is the knob for scaling
+	// experiments far beyond the paper's 16 GSPs.
+	TrustMeanDegree float64
+	// TrustFormat forces the trust matrix representation (auto/dense/csr);
+	// the zero value is trust.FormatAuto. Scaling and determinism harnesses
+	// use the explicit formats to cross-check that results do not depend on
+	// the representation.
+	TrustFormat trust.Format
 	// ProgramSizes are the task counts of the experiment programs
 	// (Section IV-A: 256…8192).
 	ProgramSizes []int
@@ -132,7 +142,13 @@ func (e *Env) BuildScenario(size, rep int) (*mechanism.Scenario, ScenarioMeta, e
 	gsps := grid.GenerateGSPs(rng.Split("gsps"), cfg.NumGSPs)
 	cost := grid.CostMatrix(rng.Split("cost"), cfg.NumGSPs, prog)
 	tm := grid.TimeMatrix(gsps, prog)
-	tg := trust.ErdosRenyi(rng.Split("trust"), cfg.NumGSPs, cfg.TrustEdgeProb)
+	var tg *trust.Graph
+	if cfg.TrustMeanDegree > 0 {
+		tg = trust.SparseErdosRenyi(rng.Split("trust"), cfg.NumGSPs, cfg.TrustMeanDegree)
+	} else {
+		tg = trust.ErdosRenyi(rng.Split("trust"), cfg.NumGSPs, cfg.TrustEdgeProb)
+	}
+	tg.SetFormat(cfg.TrustFormat)
 
 	sc := &mechanism.Scenario{
 		Program: prog, GSPs: gsps, Cost: cost, Time: tm, Trust: tg,

@@ -102,7 +102,7 @@ func TestNormalizedRowsSumToOne(t *testing.T) {
 	// Dangling row replaced with uniform.
 	for j := 0; j < 3; j++ {
 		if math.Abs(a.At(2, j)-1.0/3) > 1e-12 {
-			t.Fatalf("dangling row = %v", a.Row(2))
+			t.Fatalf("dangling row entry (2,%d) = %v", j, a.At(2, j))
 		}
 	}
 }
@@ -114,7 +114,7 @@ func TestNormalizedSubstochastic(t *testing.T) {
 	if len(dangling) != 1 || dangling[0] != 1 {
 		t.Fatalf("dangling = %v", dangling)
 	}
-	if matrix.VecSum(a.Row(1)) != 0 {
+	if a.RowSums()[1] != 0 {
 		t.Fatal("substochastic mode altered zero row")
 	}
 }

@@ -1,0 +1,275 @@
+package trust
+
+import (
+	"math"
+	"testing"
+
+	"gridvo/internal/matrix"
+	"gridvo/internal/xrand"
+)
+
+func TestSparseErdosRenyiDegree(t *testing.T) {
+	rng := xrand.New(5)
+	const m, deg = 2000, 12.0
+	g := SparseErdosRenyi(rng, m, deg)
+	got := float64(g.NumEdges()) / m
+	if math.Abs(got-deg) > 1 {
+		t.Fatalf("mean degree = %v, want ~%v", got, deg)
+	}
+	for v := 0; v < m; v++ {
+		if g.Trust(v, v) != 0 {
+			t.Fatal("sparse generator produced a self-loop")
+		}
+	}
+	for _, e := range g.Edges() {
+		if e.Weight <= 0 || e.Weight > 1 {
+			t.Fatalf("edge weight %v outside (0,1]", e.Weight)
+		}
+	}
+}
+
+func TestSparseErdosRenyiDeterministic(t *testing.T) {
+	a := SparseErdosRenyi(xrand.New(9), 500, 8)
+	b := SparseErdosRenyi(xrand.New(9), 500, 8)
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatal("same seed produced different edge counts")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("same seed produced different edges")
+		}
+	}
+}
+
+func TestSparseErdosRenyiExtremes(t *testing.T) {
+	if g := SparseErdosRenyi(xrand.New(1), 100, 0); g.NumEdges() != 0 {
+		t.Fatal("degree 0 produced edges")
+	}
+	if g := SparseErdosRenyi(xrand.New(1), 1, 5); g.NumEdges() != 0 {
+		t.Fatal("single node produced edges")
+	}
+	// meanDegree >= m-1 saturates to the complete graph.
+	if g := SparseErdosRenyi(xrand.New(1), 10, 9); g.NumEdges() != 90 {
+		t.Fatalf("complete graph has %d edges, want 90", g.NumEdges())
+	}
+}
+
+func TestSparseErdosRenyiPanics(t *testing.T) {
+	for i, f := range []func(){
+		func() { SparseErdosRenyi(xrand.New(1), -1, 5) },
+		func() { SparseErdosRenyi(xrand.New(1), 5, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSetTrustZeroDeletes(t *testing.T) {
+	g := NewGraph(3)
+	g.SetTrust(0, 1, 0.5)
+	g.SetTrust(0, 2, 0.7)
+	g.SetTrust(0, 1, 0)
+	if g.NumEdges() != 1 || g.HasEdge(0, 1) {
+		t.Fatalf("zero weight did not delete edge: edges=%d", g.NumEdges())
+	}
+	// Deleting a non-existent edge is a no-op.
+	g.SetTrust(1, 2, 0)
+	if g.NumEdges() != 1 {
+		t.Fatal("no-op delete changed edge count")
+	}
+	// Out-of-order insertion keeps rows sorted.
+	g.SetTrust(0, 0, 0.1)
+	nb := g.Neighbors(0)
+	if len(nb) != 2 || nb[0] != 0 || nb[1] != 2 {
+		t.Fatalf("Neighbors(0) = %v, want [0 2]", nb)
+	}
+}
+
+func TestWeightsCopyFree(t *testing.T) {
+	g := ErdosRenyi(xrand.New(3), 12, 0.3)
+	w1 := g.Weights()
+	w2 := g.Weights()
+	if w1 != w2 {
+		t.Fatal("Weights did not reuse the cached view")
+	}
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 12; j++ {
+			if w1.At(i, j) != g.Trust(i, j) {
+				t.Fatalf("Weights mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Mutation invalidates the cache.
+	g.SetTrust(0, 1, 0.123)
+	w3 := g.Weights()
+	if w3 == w1 {
+		t.Fatal("mutation did not invalidate the Weights cache")
+	}
+	if w3.At(0, 1) != 0.123 {
+		t.Fatal("refreshed Weights misses the new edge")
+	}
+}
+
+func TestFormatSelection(t *testing.T) {
+	sparse := ErdosRenyi(xrand.New(1), 16, 0.1)
+	if _, ok := sparse.Weights().(*matrix.CSR); !ok {
+		t.Fatalf("density %.3f should auto-pick CSR, got %T", sparse.Density(), sparse.Weights())
+	}
+	dense := ErdosRenyi(xrand.New(1), 16, 0.9)
+	if _, ok := dense.Weights().(*matrix.Dense); !ok {
+		t.Fatalf("density %.3f should auto-pick Dense, got %T", dense.Density(), dense.Weights())
+	}
+	sparse.SetFormat(FormatDense)
+	if _, ok := sparse.Weights().(*matrix.Dense); !ok {
+		t.Fatal("FormatDense override ignored")
+	}
+	dense.SetFormat(FormatCSR)
+	if _, ok := dense.Weights().(*matrix.CSR); !ok {
+		t.Fatal("FormatCSR override ignored")
+	}
+	// Clone and Subgraph inherit the policy.
+	if f := sparse.Clone().MatrixFormat(); f != FormatDense {
+		t.Fatalf("Clone format = %v", f)
+	}
+	if f := sparse.Subgraph([]int{0, 1}).MatrixFormat(); f != FormatDense {
+		t.Fatalf("Subgraph format = %v", f)
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Format
+	}{{"", FormatAuto}, {"auto", FormatAuto}, {"dense", FormatDense}, {"csr", FormatCSR}} {
+		got, err := ParseFormat(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseFormat(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseFormat("coo"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestGrow(t *testing.T) {
+	g := NewGraph(2)
+	g.SetTrust(0, 1, 0.5)
+	g.Grow(4)
+	if g.N() != 4 || g.NumEdges() != 1 || g.Trust(0, 1) != 0.5 {
+		t.Fatal("Grow lost existing state")
+	}
+	g.SetTrust(3, 0, 0.25)
+	if g.NumEdges() != 2 {
+		t.Fatal("new node cannot receive edges")
+	}
+	g.Grow(4) // no-op
+	if g.N() != 4 {
+		t.Fatal("same-size Grow changed n")
+	}
+	labeled := NewGraph(1)
+	labeled.SetLabels([]string{"root"})
+	labeled.Grow(3)
+	if labeled.Label(0) != "root" || labeled.Label(2) != "G2" {
+		t.Fatalf("labels after Grow: %q %q", labeled.Label(0), labeled.Label(2))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shrinking Grow did not panic")
+		}
+	}()
+	g.Grow(3)
+}
+
+func TestStoreApplyDelta(t *testing.T) {
+	s := NewStore(3)
+	st, err := s.ApplyDelta(0, []DeltaOp{{From: 0, To: 1, Weight: 0.5}, {From: 1, To: 2, Weight: 0.7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.N != 3 || st.Edges != 2 || st.Version != 1 || st.Ops != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Growth plus edge to a new node.
+	st, err = s.ApplyDelta(5, []DeltaOp{{From: 4, To: 0, Weight: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.N != 5 || st.Edges != 3 || st.Version != 2 {
+		t.Fatalf("stats after grow = %+v", st)
+	}
+	// Delete via zero weight.
+	st, _ = s.ApplyDelta(0, []DeltaOp{{From: 0, To: 1, Weight: 0}})
+	if st.Edges != 2 {
+		t.Fatalf("zero-weight op did not delete: %+v", st)
+	}
+}
+
+func TestStoreApplyDeltaRejectsAtomically(t *testing.T) {
+	s := NewStore(2)
+	_, err := s.ApplyDelta(0, []DeltaOp{{From: 0, To: 1, Weight: 0.5}, {From: 0, To: 9, Weight: 0.5}})
+	if err == nil {
+		t.Fatal("out-of-range op accepted")
+	}
+	if st := s.Stats(); st.Edges != 0 || st.Version != 0 {
+		t.Fatalf("rejected batch partially applied: %+v", st)
+	}
+	if _, err := s.ApplyDelta(0, []DeltaOp{{From: 0, To: 1, Weight: math.NaN()}}); err == nil {
+		t.Fatal("NaN weight accepted")
+	}
+	if _, err := s.ApplyDelta(0, []DeltaOp{{From: 0, To: 1, Weight: -1}}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+func TestStoreResolveWarm(t *testing.T) {
+	s := NewStore(3)
+	if _, err := s.ApplyDelta(0, []DeltaOp{{0, 1, 1}, {1, 2, 1}, {2, 0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	solve := func(g *Graph, warm []float64) (SolveResult, error) {
+		calls++
+		if calls == 1 && warm != nil {
+			t.Fatal("first solve should be cold")
+		}
+		if calls == 2 && warm == nil {
+			t.Fatal("second solve should receive the previous vector")
+		}
+		u := 1.0 / float64(g.N())
+		scores := make([]float64, g.N())
+		for i := range scores {
+			scores[i] = u
+		}
+		return SolveResult{Scores: scores, Iterations: 10 - 5*calls, Converged: true, Warm: warm != nil}, nil
+	}
+	_, st, err := s.Resolve(solve)
+	if err != nil || st.Solves != 1 || st.WarmSolves != 0 || !st.HasVector {
+		t.Fatalf("first resolve: %+v err=%v", st, err)
+	}
+	_, st, err = s.Resolve(solve)
+	if err != nil || st.Solves != 2 || st.WarmSolves != 1 || st.LastIterations != 0 {
+		t.Fatalf("second resolve: %+v err=%v", st, err)
+	}
+}
+
+func TestStoreWarmVectorSurvivesGrow(t *testing.T) {
+	s := NewStore(2)
+	s.ApplyDelta(0, []DeltaOp{{0, 1, 1}, {1, 0, 1}})
+	s.Resolve(func(g *Graph, warm []float64) (SolveResult, error) {
+		return SolveResult{Scores: []float64{0.5, 0.5}, Iterations: 3, Converged: true}, nil
+	})
+	s.ApplyDelta(4, nil)
+	s.Resolve(func(g *Graph, warm []float64) (SolveResult, error) {
+		if len(warm) != 4 || warm[0] != 0.5 || warm[2] != 0 {
+			t.Fatalf("warm vector after grow = %v", warm)
+		}
+		return SolveResult{}, nil
+	})
+}
