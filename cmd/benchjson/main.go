@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -32,7 +33,9 @@ import (
 
 	"gridvo/internal/assign"
 	"gridvo/internal/mechanism"
+	"gridvo/internal/server"
 	"gridvo/internal/sim"
+	"gridvo/internal/workload/loadgen"
 )
 
 func main() {
@@ -146,9 +149,37 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fig9Note  = fs.String("fig9-note", "", "provenance note for the fig9 figures")
 		sparse    = fs.Bool("sparse", false, "run the sparse trust-substrate sweep (dense vs CSR reputation solves across node counts) instead of the mechanism comparison")
 		sparsePts = fs.String("sparse-points", "", `sparse sweep points as "n:degree,..." (default: 256:8 ... 1000000:20)`)
+		lg        = fs.Bool("loadgen", false, "run the serving-tier sync-vs-jobs load comparison (BENCH_PR7-style) instead of the mechanism comparison")
+		lgRPS     = fs.Float64("rps", 60, "loadgen offered request rate per side")
+		lgDur     = fs.Duration("duration", 10*time.Second, "loadgen run length per side")
+		lgBurst   = fs.Int("burst", 8, "loadgen consecutive duplicate submissions per scenario")
+		lgMix     = fs.Int("scenarios", 80, "loadgen distinct scenarios in the mix")
+		lgGSPs    = fs.Int("gsps", 14, "loadgen GSPs per generated scenario")
+		lgTasks   = fs.Int("tasks", 48, "loadgen tasks per generated scenario")
+		lgLanes   = fs.Int("lanes", 96, "loadgen concurrent client lanes")
+		lgWorkers = fs.Int("workers", 8, "loadgen job-tier worker-pool size")
+		lgFlight  = fs.Int("inflight", 8, "loadgen synchronous-path concurrency limit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *lg {
+		return runLoadgen(*out, loadgen.Options{
+			Mode:      "both",
+			RPS:       *lgRPS,
+			Duration:  *lgDur,
+			Lanes:     *lgLanes,
+			Scenarios: *lgMix,
+			Burst:     *lgBurst,
+			GSPs:      *lgGSPs,
+			Tasks:     *lgTasks,
+			Seed:      *seed,
+			Server: server.Config{
+				MaxInFlight: *lgFlight,
+				JobWorkers:  *lgWorkers,
+			},
+		}, stdout)
 	}
 
 	if *sparse {
@@ -385,4 +416,28 @@ func parseSizes(s string) ([]int, error) {
 		return nil, fmt.Errorf("no sizes given")
 	}
 	return sizes, nil
+}
+
+// runLoadgen runs the serving-tier comparison — the synchronous path and
+// the async job tier driven with identical offered load and scenario
+// mixes — and writes the loadgen report (the BENCH_PR7.json document).
+func runLoadgen(out string, opts loadgen.Options, stdout io.Writer) error {
+	rep, err := loadgen.Compare(context.Background(), opts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "loadgen: sync %.1f rps (p99 %.1fms) vs jobs %.1f rps (p99 %.1fms), ratio %.2fx, deduped %d\n",
+		rep.Sync.SustainedRPS, rep.Sync.P99MS,
+		rep.Jobs.SustainedRPS, rep.Jobs.P99MS,
+		rep.RPSRatio, rep.Jobs.DedupedDelta)
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", out)
+	return nil
 }

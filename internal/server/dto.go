@@ -294,6 +294,59 @@ type AssignResponse struct {
 	DurationMS float64 `json:"duration_ms"`
 }
 
+// JobSubmitResponse is the 202 body of POST /v1/jobs: the id to poll,
+// plus whether this submission coalesced onto an identical in-flight job.
+type JobSubmitResponse struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Deduped reports singleflight coalescing: this submission consumed no
+	// queue slot and will share the leader's solve (if it stays clean).
+	Deduped bool `json:"deduped"`
+	// QueueDepth is the queue occupancy at submit — a client-side
+	// backpressure signal.
+	QueueDepth int `json:"queue_depth"`
+}
+
+// JobStatusResponse is the body of GET /v1/jobs/{id}.
+type JobStatusResponse struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Deduped marks a follower that coalesced onto another job's solve.
+	Deduped bool `json:"deduped"`
+	// Error is set only in state "failed".
+	Error string `json:"error,omitempty"`
+	// Result is present only in terminal states done|degraded; it is the
+	// same FormResponse the synchronous /v1/vo/form path returns,
+	// bitwise-identical for identical requests.
+	Result *FormResponse `json:"result,omitempty"`
+	// QueueMS / RunMS split the job's latency into time waiting for a
+	// worker and time solving.
+	QueueMS float64 `json:"queue_ms"`
+	RunMS   float64 `json:"run_ms,omitempty"`
+}
+
+// JobsSnapshot is the async tier's block in GET /metrics.
+type JobsSnapshot struct {
+	// Queued / Deduped / Requeued count lifetime submissions enqueued,
+	// coalesced onto an in-flight duplicate, and re-enqueued because a
+	// leader's result was fault-touched (unshareable).
+	Queued   int64 `json:"jobs_queued"`
+	Deduped  int64 `json:"jobs_deduped"`
+	Requeued int64 `json:"jobs_requeued"`
+	// QueueDepth / QueueCapacity describe current queue occupancy;
+	// Workers / Running the pool size and busy workers.
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+	Workers       int `json:"workers"`
+	Running       int `json:"running"`
+	// Done / Failed / Degraded count terminal outcomes; Live is the number
+	// of jobs currently pollable (not yet TTL-GC'd).
+	Done     int64 `json:"jobs_done"`
+	Failed   int64 `json:"jobs_failed"`
+	Degraded int64 `json:"jobs_degraded"`
+	Live     int   `json:"jobs_live"`
+}
+
 // HealthResponse is the body of GET /healthz.
 type HealthResponse struct {
 	Status string `json:"status"`

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"context"
+	"fmt"
 	"net/http"
 	"time"
 
@@ -36,28 +38,11 @@ func (s *Server) handleReputation(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// engineFor returns the scenario and engine to solve a form request with:
-// the cached pair when the scenario was seen before (so its coalition
-// solutions are reused), else a fresh engine registered in the LRU.
-func (s *Server) engineFor(sc *mechanism.Scenario) (*mechanism.Scenario, *mechanism.Engine) {
-	key := scenarioKey(sc)
-	if ent, ok := s.engines.get(key); ok && scenarioEqual(ent.sc, sc) {
-		return ent.sc, ent.eng
-	}
-	eng := mechanism.NewEngine(sc, s.cfg.Solver)
-	if s.cfg.Inject != nil {
-		eng.SetInjector(s.cfg.Inject)
-	}
-	s.engines.add(key, engineEntry{sc: sc, eng: eng})
-	return sc, eng
-}
-
-// handleForm runs one VO formation (Algorithm 1) on a scenario.
-func (s *Server) handleForm(w http.ResponseWriter, r *http.Request) {
-	var req FormRequest
-	if !s.decodeJSON(w, r, &req) {
-		return
-	}
+// buildFormRequest validates a form request and builds its scenario —
+// the shared front half of the sync /v1/vo/form path and the async job
+// submit path (so a job's bad request fails fast with 400 at submit,
+// never inside a worker).
+func buildFormRequest(req *FormRequest) (*mechanism.Scenario, gridvo.Rule, error) {
 	var rule gridvo.Rule
 	switch req.Rule {
 	case "", "tvof":
@@ -65,19 +50,50 @@ func (s *Server) handleForm(w http.ResponseWriter, r *http.Request) {
 	case "rvof":
 		rule = gridvo.RVOF
 	default:
-		writeError(w, http.StatusBadRequest, "unknown rule "+req.Rule+" (want tvof or rvof)")
-		return
+		return nil, 0, fmt.Errorf("unknown rule %s (want tvof or rvof)", req.Rule)
 	}
 	sc, err := req.Scenario.Build(req.Seed)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
+		return nil, 0, err
 	}
-	sc, eng := s.engineFor(sc)
+	return sc, rule, nil
+}
 
-	ctx, cancel := s.solveContext(r, req.TimeoutMS)
-	defer cancel()
+// engineFor returns the scenario, engine, and content key to solve a form
+// request with: the cached pair when the scenario was seen before (so its
+// coalition solutions are reused), else a fresh engine registered in the
+// sharded LRU. The returned key doubles as the content half of the job
+// tier's dedupe key.
+func (s *Server) engineFor(sc *mechanism.Scenario) (*mechanism.Scenario, *mechanism.Engine, uint64) {
+	key := mechanism.ScenarioKey(sc)
+	if csc, eng, ok := s.engines.Get(key, sc); ok {
+		return csc, eng, key
+	}
+	eng := mechanism.NewEngine(sc, s.cfg.Solver)
+	if s.cfg.Inject != nil {
+		eng.SetInjector(s.cfg.Inject)
+	}
+	s.engines.Add(key, sc, eng)
+	return sc, eng, key
+}
+
+// formRun is one completed VO-formation solve: the wire response plus the
+// facts the caller needs that the response doesn't carry verbatim.
+type formRun struct {
+	resp FormResponse
+	// faults counts injected faults that fired during the final attempt —
+	// the job tier's "never share a fault-touched result" signal.
+	faults int64
+	// partial reports deadline expiry (the sync path's 504 signal).
+	partial bool
+}
+
+// solveForm runs one VO formation (Algorithm 1) to completion under ctx —
+// the shared back half of the sync handler and the async job worker, so
+// both paths produce bitwise-identical responses for identical requests.
+func (s *Server) solveForm(ctx context.Context, sc *mechanism.Scenario, rule gridvo.Rule, req *FormRequest) (*formRun, error) {
 	start := time.Now()
+	_, eng, _ := s.engineFor(sc)
 
 	// Bounded retry with backoff: a run degraded by *injected* transient
 	// faults (res.Faults > 0) is retried against the now-warmer engine
@@ -85,12 +101,12 @@ func (s *Server) handleForm(w http.ResponseWriter, r *http.Request) {
 	// deadline itself are never retried — that budget is already spent.
 	var res *gridvo.Result
 	var stats mechanism.EngineStats
+	var err error
 	retries := 0
 	for attempt := 0; ; attempt++ {
 		res, err = gridvo.FormVOEngine(ctx, eng, rule, req.Seed)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err.Error())
-			return
+			return nil, err
 		}
 		stats = stats.Add(res.Stats)
 		if !res.Degraded || res.Faults == 0 || attempt >= s.cfg.MaxRetries || ctx.Err() != nil {
@@ -106,7 +122,9 @@ func (s *Server) handleForm(w http.ResponseWriter, r *http.Request) {
 	s.metrics.addEngine(stats)
 
 	partial := ctx.Err() != nil
-	resp := FormResponse{
+	run := &formRun{faults: res.Faults, partial: partial}
+	resp := &run.resp
+	*resp = FormResponse{
 		Rule:             res.Rule.String(),
 		GlobalReputation: res.GlobalReputation,
 		Partial:          partial,
@@ -147,13 +165,35 @@ func (s *Server) handleForm(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	return run, nil
+}
+
+// handleForm runs one VO formation (Algorithm 1) on a scenario,
+// synchronously.
+func (s *Server) handleForm(w http.ResponseWriter, r *http.Request) {
+	var req FormRequest
+	if !s.decodeJSON(w, r, &req) {
+		return
+	}
+	sc, rule, err := buildFormRequest(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := s.solveContext(r, req.TimeoutMS)
+	defer cancel()
+	run, err := s.solveForm(ctx, sc, rule, &req)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
 	status := http.StatusOK
-	if partial {
+	if run.partial {
 		// The budget expired mid-run: the reply still carries the best
 		// incumbents found, but flags them as not proven optimal.
 		status = http.StatusGatewayTimeout
 	}
-	writeJSON(w, status, resp)
+	writeJSON(w, status, run.resp)
 }
 
 // handleAssign solves one coalition assignment IP (eqs. 9-14) directly.
@@ -269,5 +309,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // handleMetrics dumps the counter snapshot.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.engines.len()))
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot(
+		s.engines.Stats(),
+		s.jobs.snapshot(s.cfg.JobWorkers),
+		s.routes,
+	))
 }

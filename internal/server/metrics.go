@@ -141,11 +141,20 @@ type MetricsSnapshot struct {
 	Requests      map[string]int64 `json:"requests"`
 	Responses     map[string]int64 `json:"responses"`
 	InFlight      int64            `json:"in_flight"`
+	// Routes lists every registered route pattern — the machine-readable
+	// API surface the docs-coverage CI check compares against API.md.
+	Routes []string `json:"routes"`
 	// Engines counts live engines in the LRU; the engine block is the
 	// cumulative solver activity across all requests (evicted engines
 	// included).
 	Engines int             `json:"engines"`
 	Engine  EngineStatsJSON `json:"engine"`
+	// EngineCache breaks the scenario-engine LRU down per shard: entries,
+	// hits, misses, and hit rate of each independently locked shard.
+	EngineCache mechanism.CacheStats `json:"engine_cache"`
+	// Jobs is the async tier: queue occupancy, worker pool, dedupe and
+	// terminal-state counters.
+	Jobs JobsSnapshot `json:"jobs"`
 	// ShedTotal / PanicsTotal / RetriesTotal count 429 load-shed rejections,
 	// contained handler panics, and bounded solve retries.
 	ShedTotal    int64           `json:"shed_total"`
@@ -163,15 +172,19 @@ type LatencySnapshot struct {
 	SumMS   float64          `json:"sum_ms"`
 }
 
-// Snapshot captures the current counter values.
-func (m *Metrics) Snapshot(engines int) MetricsSnapshot {
+// Snapshot captures the current counter values alongside the engine
+// cache's shard stats, the job tier's counters, and the registered routes.
+func (m *Metrics) Snapshot(cache mechanism.CacheStats, jobs JobsSnapshot, routes []string) MetricsSnapshot {
 	snap := MetricsSnapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Requests:      map[string]int64{},
 		Responses:     map[string]int64{},
 		InFlight:      m.inFlight.Load(),
-		Engines:       engines,
+		Routes:        routes,
+		Engines:       cache.Entries,
 		Engine:        engineStatsJSON(m.EngineTotals()),
+		EngineCache:   cache,
+		Jobs:          jobs,
 		ShedTotal:     m.shed.Load(),
 		PanicsTotal:   m.panics.Load(),
 		RetriesTotal:  m.retries.Load(),
@@ -180,12 +193,12 @@ func (m *Metrics) Snapshot(engines int) MetricsSnapshot {
 	// encoding/json happens to sort map keys today, but the snapshot's
 	// determinism should not hinge on the encoder's implementation.
 	m.mu.Lock()
-	routes := make([]string, 0, len(m.requests))
+	seen := make([]string, 0, len(m.requests))
 	for route := range m.requests {
-		routes = append(routes, route)
+		seen = append(seen, route)
 	}
-	sort.Strings(routes)
-	for _, route := range routes {
+	sort.Strings(seen)
+	for _, route := range seen {
 		snap.Requests[route] = m.requests[route].Load()
 	}
 	m.mu.Unlock()

@@ -12,6 +12,7 @@ import (
 
 	"gridvo/internal/assign"
 	"gridvo/internal/fault"
+	"gridvo/internal/mechanism"
 	"gridvo/internal/trust"
 )
 
@@ -34,6 +35,23 @@ type Config struct {
 	MaxInFlight int
 	// EngineCacheSize bounds the scenario-engine LRU. 0 selects 64.
 	EngineCacheSize int
+	// EngineCacheShards splits the engine LRU into independently locked
+	// shards (rounded up to a power of two) so concurrent workers contend
+	// per shard, not on one process-wide mutex. 0 selects
+	// mechanism.DefaultCacheShards (smallest power of two ≥ GOMAXPROCS).
+	EngineCacheShards int
+	// JobQueueDepth bounds the async job queue drained by the worker
+	// pool; a full queue sheds new submissions with 429. 0 selects 256.
+	JobQueueDepth int
+	// JobWorkers sets the worker-pool size draining the job queue.
+	// 0 selects GOMAXPROCS.
+	JobWorkers int
+	// JobTTL bounds how long a terminal job stays pollable before GC;
+	// 0 selects 5m.
+	JobTTL time.Duration
+	// MaxLongPoll caps the ?wait= long-poll budget of GET /v1/jobs/{id};
+	// 0 selects 30s.
+	MaxLongPoll time.Duration
 	// Solver configures the branch-and-bound of every engine the server
 	// creates.
 	Solver assign.Options
@@ -69,6 +87,18 @@ func (c *Config) fillDefaults() {
 	if c.RetryBackoff == 0 {
 		c.RetryBackoff = 5 * time.Millisecond
 	}
+	if c.JobQueueDepth == 0 {
+		c.JobQueueDepth = 256
+	}
+	if c.JobWorkers == 0 {
+		c.JobWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.JobTTL == 0 {
+		c.JobTTL = 5 * time.Minute
+	}
+	if c.MaxLongPoll == 0 {
+		c.MaxLongPoll = 30 * time.Second
+	}
 }
 
 // Server is the gridvod HTTP API: VO formation, reputation, and coalition
@@ -79,31 +109,65 @@ func (c *Config) fillDefaults() {
 type Server struct {
 	cfg     Config
 	metrics *Metrics
-	engines *engineCache
+	engines *mechanism.EngineCache
 	store   *trust.Store
+	jobs    *jobManager
 	sem     chan struct{}
 	mux     *http.ServeMux
+	routes  []string
 }
 
-// New builds a server with its routes registered.
+// routeClass selects the middleware a route gets.
+type routeClass int
+
+const (
+	// routeOpen bypasses the solve semaphore and the body cap (GETs,
+	// health, metrics, job polls — none of them solve or ingest bodies).
+	routeOpen routeClass = iota
+	// routeSolve takes a solve slot (429 when saturated) and caps the
+	// request body — the synchronous solve endpoints.
+	routeSolve
+	// routeIngest caps the request body but takes no solve slot: job
+	// submission is cheap bookkeeping; the bounded queue is its
+	// backpressure (429 comes from queue-full, not the semaphore).
+	routeIngest
+)
+
+// New builds a server with its routes registered and its job worker pool
+// running. A server that should stop cleanly calls Serve (which drains
+// the pool on shutdown) or DrainJobs directly.
 func New(cfg Config) *Server {
 	cfg.fillDefaults()
 	s := &Server{
 		cfg:     cfg,
 		metrics: NewMetrics(),
-		engines: newEngineCache(cfg.EngineCacheSize),
+		engines: mechanism.NewEngineCache(cfg.EngineCacheSize, cfg.EngineCacheShards),
 		store:   trust.NewStore(0),
+		jobs:    newJobManager(cfg.JobQueueDepth, cfg.JobTTL),
 		sem:     make(chan struct{}, cfg.MaxInFlight),
 		mux:     http.NewServeMux(),
 	}
-	s.mux.HandleFunc("POST /v1/reputation", s.wrap("/v1/reputation", true, s.handleReputation))
-	s.mux.HandleFunc("POST /v1/trust/delta", s.wrap("/v1/trust/delta", true, s.handleTrustDelta))
-	s.mux.HandleFunc("GET /v1/trust/stats", s.wrap("/v1/trust/stats", false, s.handleTrustStats))
-	s.mux.HandleFunc("POST /v1/vo/form", s.wrap("/v1/vo/form", true, s.handleForm))
-	s.mux.HandleFunc("POST /v1/assign", s.wrap("/v1/assign", true, s.handleAssign))
-	s.mux.HandleFunc("GET /healthz", s.wrap("/healthz", false, s.handleHealthz))
-	s.mux.HandleFunc("GET /metrics", s.wrap("/metrics", false, s.handleMetrics))
+	s.handle("POST", "/v1/reputation", routeSolve, s.handleReputation)
+	s.handle("POST", "/v1/trust/delta", routeSolve, s.handleTrustDelta)
+	s.handle("GET", "/v1/trust/stats", routeOpen, s.handleTrustStats)
+	s.handle("POST", "/v1/vo/form", routeSolve, s.handleForm)
+	s.handle("POST", "/v1/assign", routeSolve, s.handleAssign)
+	s.handle("POST", "/v1/jobs", routeIngest, s.handleJobSubmit)
+	s.handle("GET", "/v1/jobs/{id}", routeOpen, s.handleJobGet)
+	s.handle("GET", "/healthz", routeOpen, s.handleHealthz)
+	s.handle("GET", "/metrics", routeOpen, s.handleMetrics)
+	for i := 0; i < cfg.JobWorkers; i++ {
+		s.jobs.wg.Add(1)
+		go s.jobWorker()
+	}
 	return s
+}
+
+// handle registers one route, recording its path for the /metrics route
+// listing (which the API-docs CI check reads).
+func (s *Server) handle(method, path string, class routeClass, h http.HandlerFunc) {
+	s.routes = append(s.routes, path)
+	s.mux.HandleFunc(method+" "+path, s.wrap(path, class, h))
 }
 
 // Handler returns the routed handler (for tests and embedding).
@@ -124,9 +188,10 @@ func (w *statusWriter) WriteHeader(code int) {
 }
 
 // wrap applies the common middleware: request metrics, panic containment,
-// load shedding via the concurrency semaphore (solve endpoints only), and
-// the body-size limit.
-func (s *Server) wrap(route string, limited bool, h http.HandlerFunc) http.HandlerFunc {
+// then per-class handling — the solve semaphore and body cap for
+// routeSolve, the body cap alone for routeIngest, nothing extra for
+// routeOpen.
+func (s *Server) wrap(route string, class routeClass, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		s.metrics.request(route)
@@ -143,7 +208,7 @@ func (s *Server) wrap(route string, limited bool, h http.HandlerFunc) http.Handl
 				writeError(sw, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", rec))
 			}
 		}()
-		if limited {
+		if class == routeSolve {
 			// Load shedding: when every solve slot is busy, reject
 			// immediately with 429 + Retry-After instead of queueing
 			// unboundedly — queued solves would start with their deadline
@@ -157,6 +222,8 @@ func (s *Server) wrap(route string, limited bool, h http.HandlerFunc) http.Handl
 				writeError(sw, http.StatusTooManyRequests, "server saturated; retry later")
 				return
 			}
+		}
+		if class == routeSolve || class == routeIngest {
 			r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
 		}
 		h(sw, r)
@@ -196,11 +263,10 @@ func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, dst any) boo
 	return true
 }
 
-// solveContext derives the per-request solve context: the request's
-// timeout_ms when given, else the server default, clamped to MaxTimeout.
-// The request's own context is the parent, so client disconnects cancel
-// in-flight solves too.
-func (s *Server) solveContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+// budget resolves the solve budget for a request: its timeout_ms when
+// given, else the server default, clamped to MaxTimeout. 0 means no
+// budget.
+func (s *Server) budget(timeoutMS int64) time.Duration {
 	d := s.cfg.DefaultTimeout
 	if timeoutMS > 0 {
 		d = time.Duration(timeoutMS) * time.Millisecond
@@ -208,10 +274,26 @@ func (s *Server) solveContext(r *http.Request, timeoutMS int64) (context.Context
 	if s.cfg.MaxTimeout > 0 && (d <= 0 || d > s.cfg.MaxTimeout) {
 		d = s.cfg.MaxTimeout
 	}
-	if d <= 0 {
-		return context.WithCancel(r.Context())
+	if d < 0 {
+		d = 0
 	}
-	return context.WithTimeout(r.Context(), d)
+	return d
+}
+
+// withBudget derives a context bounded by d (0 = unbounded). Job workers
+// parent on context.Background() so a queued job survives its submitter's
+// disconnect; the sync path parents on the request context.
+func withBudget(parent context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return context.WithCancel(parent)
+	}
+	return context.WithTimeout(parent, d)
+}
+
+// solveContext is withBudget parented on the request's own context, so
+// client disconnects cancel in-flight synchronous solves too.
+func (s *Server) solveContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	return withBudget(r.Context(), s.budget(timeoutMS))
 }
 
 // ListenAndServe serves the API on addr until ctx is cancelled, then
@@ -240,6 +322,20 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener, drain time.Duration
 	case <-ctx.Done():
 		sctx, cancel := context.WithTimeout(context.Background(), drain)
 		defer cancel()
-		return hs.Shutdown(sctx)
+		// Stop accepting HTTP first, then finish queued jobs: a drained
+		// listener guarantees no new submissions race the queue close.
+		httpErr := hs.Shutdown(sctx)
+		if err := s.DrainJobs(sctx); err != nil {
+			return err
+		}
+		return httpErr
 	}
+}
+
+// DrainJobs stops the job tier: new submissions get 503, workers finish
+// every queued job, and the call blocks until the pool exits or ctx
+// expires. Idempotent; tests and embedders use it to stop the worker
+// goroutines New started.
+func (s *Server) DrainJobs(ctx context.Context) error {
+	return s.jobs.drain(ctx)
 }

@@ -22,7 +22,14 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
 	s := New(cfg)
 	ts := httptest.NewServer(s.Handler())
-	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.DrainJobs(ctx); err != nil {
+			t.Errorf("draining job workers: %v", err)
+		}
+	})
 	return s, ts
 }
 
@@ -207,7 +214,7 @@ func TestFormHappyPathAndEngineReuse(t *testing.T) {
 	if second.Payoff != first.Payoff || len(second.Members) != len(first.Members) {
 		t.Fatalf("cache changed the answer: %+v vs %+v", second, first)
 	}
-	if n := s.engines.len(); n != 1 {
+	if n := s.engines.Len(); n != 1 {
 		t.Fatalf("want 1 live engine, got %d", n)
 	}
 
@@ -293,7 +300,7 @@ func registerEngine(t *testing.T, s *Server, spec *mechanism.ScenarioSpec, seed 
 	}
 	eng := mechanism.NewEngine(sc, assign.Options{})
 	eng.SetSolver(solver)
-	s.engines.add(scenarioKey(sc), engineEntry{sc: sc, eng: eng})
+	s.engines.Add(mechanism.ScenarioKey(sc), sc, eng)
 }
 
 func TestExpiredDeadlineIs504WithPartialFlag(t *testing.T) {

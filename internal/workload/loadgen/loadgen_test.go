@@ -1,0 +1,60 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"gridvo/internal/server"
+)
+
+// TestRunSelfServeBothModes smoke-tests both serving paths at a gentle
+// rate against an in-process server — the same shape the CI smoke job
+// runs via cmd/gridvod -loadgen, kept short here.
+func TestRunSelfServeBothModes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load generation is wall-clock bound")
+	}
+	for _, mode := range []string{"sync", "jobs"} {
+		t.Run(mode, func(t *testing.T) {
+			res, err := Run(context.Background(), Options{
+				Mode:      mode,
+				RPS:       20,
+				Duration:  time.Second,
+				Scenarios: 2,
+				GSPs:      4,
+				Tasks:     8,
+				Seed:      1,
+				Server:    server.Config{JobWorkers: 4},
+				SLOp99:    10 * time.Second,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Completed == 0 {
+				t.Fatalf("no completed requests: %+v", res)
+			}
+			if len(res.SLOViolations) > 0 {
+				t.Fatalf("SLO violations at trivial load: %v", res.SLOViolations)
+			}
+			if res.P99MS <= 0 || res.SustainedRPS <= 0 {
+				t.Fatalf("missing measurements: %+v", res)
+			}
+			if mode == "jobs" && res.JobsQueuedDelta == 0 {
+				t.Fatalf("jobs mode queued nothing: %+v", res)
+			}
+		})
+	}
+}
+
+func TestRunRejectsBadOptions(t *testing.T) {
+	if _, err := Run(context.Background(), Options{Mode: "nope", RPS: 1, Duration: time.Second}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	if _, err := Run(context.Background(), Options{Mode: "sync"}); err == nil {
+		t.Fatal("zero rps/duration accepted")
+	}
+	if _, err := Compare(context.Background(), Options{BaseURL: "http://x", RPS: 1, Duration: time.Second}); err == nil {
+		t.Fatal("Compare with BaseURL accepted")
+	}
+}
