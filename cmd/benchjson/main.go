@@ -27,6 +27,8 @@ import (
 	"io"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -75,6 +77,8 @@ type statsJSON struct {
 	SeedWins             int64   `json:"seed_wins"`
 	WarmStartRate        float64 `json:"warm_start_rate"`
 	Nodes                int64   `json:"nodes"`
+	PrunedBySymmetry     int64   `json:"pruned_by_symmetry"`
+	PrunedByDominance    int64   `json:"pruned_by_dominance"`
 	SolverMS             float64 `json:"solver_ms"`
 	PowerIterations      int64   `json:"power_iterations"`
 	PowerIterationsSaved int64   `json:"power_iterations_saved"`
@@ -89,18 +93,39 @@ func toStatsJSON(s mechanism.EngineStats) statsJSON {
 		SeedWins:             s.SeedWins,
 		WarmStartRate:        s.WarmStartRate(),
 		Nodes:                s.Nodes,
+		PrunedBySymmetry:     s.PrunedBySymmetry,
+		PrunedByDominance:    s.PrunedByDominance,
 		SolverMS:             float64(s.WallTime) / float64(time.Millisecond),
 		PowerIterations:      s.PowerIterations,
 		PowerIterationsSaved: s.PowerIterationsSaved,
 	}
 }
 
+// envJSON records the build/runtime environment a report was measured
+// under, so the perf trajectory across BENCH_*.json artifacts stays
+// comparable between machines. Reports written before PR 8 lack the
+// block; consumers (including -baseline mode) tolerate its absence.
+type envJSON struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
+func currentEnv() *envJSON {
+	return &envJSON{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+}
+
 // reportJSON is the document written to -out.
 type reportJSON struct {
-	Tool  string `json:"tool"`
-	Seed  uint64 `json:"seed"`
-	Sizes []int  `json:"sizes"`
-	Reps  int    `json:"reps"`
+	Tool  string   `json:"tool"`
+	Seed  uint64   `json:"seed"`
+	Sizes []int    `json:"sizes"`
+	Reps  int      `json:"reps"`
+	Env   *envJSON `json:"env,omitempty"`
 	// Baseline, when set, names the prior report whose warm side was
 	// used as the Cold comparison side instead of running a
 	// no-warm-start sweep; Speedup is then the prior wall time over the
@@ -159,9 +184,40 @@ func run(args []string, stdout, stderr io.Writer) error {
 		lgLanes   = fs.Int("lanes", 96, "loadgen concurrent client lanes")
 		lgWorkers = fs.Int("workers", 8, "loadgen job-tier worker-pool size")
 		lgFlight  = fs.Int("inflight", 8, "loadgen synchronous-path concurrency limit")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile covering the run to this file")
+		memProf   = fs.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(stderr, "benchjson: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle accounting so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "benchjson: memprofile:", err)
+			}
+		}()
 	}
 
 	if *lg {
@@ -237,7 +293,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	cfg.TraceJobs = *traceJobs
 	cfg.Solver = assign.Options{NodeBudget: *nodeCap}
 
-	report := reportJSON{Tool: "benchjson", Seed: *seed, Sizes: sizes, Reps: *reps}
+	report := reportJSON{Tool: "benchjson", Seed: *seed, Sizes: sizes, Reps: *reps, Env: currentEnv()}
 
 	warmSide, err := sweep(cfg, false)
 	if err != nil {

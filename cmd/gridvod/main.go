@@ -35,6 +35,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -61,6 +63,7 @@ func main() {
 		maxWait    = fs.Duration("max-wait", 0, "cap on GET /v1/jobs/{id}?wait= long-poll budgets (0 = 30s)")
 		nodeCap    = fs.Int64("nodes", 0, "branch-and-bound node budget per IP solve (0 = default)")
 		drain      = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+		pprofAddr  = fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 
 		genOn    = fs.Bool("loadgen", false, "run as a load generator instead of a daemon")
 		genMode  = fs.String("loadgen-mode", "sync", "load-generator path: sync, jobs, or both (comparison report)")
@@ -114,6 +117,25 @@ func main() {
 	}
 
 	srv := server.New(cfg)
+
+	// Profiling endpoints live on their own listener, never the API
+	// address: off by default, and when enabled an operator binds them to
+	// localhost so the debug surface is not exposed alongside the
+	// service. The API mux stays pprof-free either way.
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("gridvod pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil {
+				log.Printf("gridvod pprof: %v", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

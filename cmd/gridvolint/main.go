@@ -41,6 +41,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonOut   = fs.Bool("json", false, "emit findings as a JSON array")
 		checksArg = fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
 		list      = fs.Bool("list", false, "list available checks and exit")
+		audit     = fs.Bool("audit", false, "inventory //gridvolint:ignore suppressions instead of running checks; malformed or reason-less ones are findings")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -61,6 +62,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
+	}
+
+	if *audit {
+		return runAudit(".", patterns, *jsonOut, stdout, stderr)
 	}
 
 	diags, err := lint(".", patterns, checks)
@@ -89,6 +94,88 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// runAudit implements -audit: it prints every suppression directive with
+// its check and reason ("file:line  [check]  reason"), reports malformed
+// or perfunctory ones as findings, and returns the usual exit status.
+// The inventory goes to stdout even when clean, so a reviewer sees at a
+// glance which determinism checks are switched off where — silent,
+// unexplained suppressions are exactly what the audit exists to prevent.
+func runAudit(dir string, patterns []string, jsonOut bool, stdout, stderr io.Writer) int {
+	sups, diags, err := auditLint(dir, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "gridvolint:", err)
+		return 2
+	}
+	if jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		out := struct {
+			Suppressions []analysis.Suppression `json:"suppressions"`
+			Findings     []analysis.Diagnostic  `json:"findings"`
+		}{sups, diags}
+		if out.Suppressions == nil {
+			out.Suppressions = []analysis.Suppression{}
+		}
+		if out.Findings == nil {
+			out.Findings = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, "gridvolint:", err)
+			return 2
+		}
+	} else {
+		for _, s := range sups {
+			fmt.Fprintf(stdout, "%s:%d  [%s]  %s\n", s.File, s.Line, s.Check, s.Reason)
+		}
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "gridvolint: %d suppression finding(s)\n", len(diags))
+		return 1
+	}
+	fmt.Fprintf(stderr, "gridvolint: %d suppression(s), all with reasons\n", len(sups))
+	return 0
+}
+
+// auditLint loads the packages matched by patterns and inventories their
+// suppression directives, with module-root-relative paths.
+func auditLint(dir string, patterns []string) ([]analysis.Suppression, []analysis.Diagnostic, error) {
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var pkgs []*analysis.Package
+	seen := map[string]bool{}
+	for _, pat := range patterns {
+		matched, err := resolvePattern(loader, dir, pat)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, p := range matched {
+			if !seen[p.Path] {
+				seen[p.Path] = true
+				pkgs = append(pkgs, p)
+			}
+		}
+	}
+	sups, diags := analysis.Suppressions(loader.Fset, pkgs)
+	rel := func(file string) string {
+		if r, err := filepath.Rel(loader.ModuleRoot, file); err == nil && !strings.HasPrefix(r, "..") {
+			return filepath.ToSlash(r)
+		}
+		return file
+	}
+	for i := range sups {
+		sups[i].File = rel(sups[i].File)
+	}
+	for i := range diags {
+		diags[i].File = rel(diags[i].File)
+	}
+	return sups, diags, nil
 }
 
 // selectChecks resolves the -checks flag to a check list (nil = all).

@@ -102,3 +102,63 @@ func TestPatternOutsideModuleRejected(t *testing.T) {
 		t.Errorf("stderr missing outside-module error: %q", errb.String())
 	}
 }
+
+const suppressCorpus = "../../internal/analysis/testdata/src/suppress"
+
+// TestAuditInventory: -audit lists every well-formed suppression with
+// its reason and fails the run when malformed or perfunctory directives
+// exist (the suppress corpus seeds two malformed and one perfunctory).
+func TestAuditInventory(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-audit", suppressCorpus}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run(-audit) on seeded corpus = %d, want 1; stderr: %s", code, errb.String())
+	}
+	o := out.String()
+	for _, want := range []string{
+		"[floatcmp]  golden-test exception: bit identity intended",
+		"malformed suppression",
+		"perfunctory suppression reason",
+	} {
+		if !strings.Contains(o, want) {
+			t.Errorf("-audit output missing %q:\n%s", want, o)
+		}
+	}
+}
+
+// TestAuditJSON pins the machine-readable audit shape and counts.
+func TestAuditJSON(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-audit", "-json", suppressCorpus}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run(-audit -json) = %d, want 1; stderr: %s", code, errb.String())
+	}
+	var rep struct {
+		Suppressions []analysis.Suppression `json:"suppressions"`
+		Findings     []analysis.Diagnostic  `json:"findings"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("audit JSON: %v\n%s", err, out.String())
+	}
+	if len(rep.Suppressions) != 4 || len(rep.Findings) != 3 {
+		t.Fatalf("got %d suppressions / %d findings, want 4 / 3:\n%s",
+			len(rep.Suppressions), len(rep.Findings), out.String())
+	}
+	for _, s := range rep.Suppressions {
+		if s.Reason == "" || s.Check == "" || s.File == "" || s.Line == 0 {
+			t.Errorf("incomplete suppression record: %+v", s)
+		}
+	}
+}
+
+// TestAuditCleanPackage: a suppression-free package audits clean with
+// exit 0.
+func TestAuditCleanPackage(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-audit", cleanPackage}, &out, &errb); code != 0 {
+		t.Fatalf("run(-audit) on clean package = %d, want 0; stderr: %s", code, errb.String())
+	}
+	if strings.TrimSpace(out.String()) != "" {
+		t.Errorf("clean audit printed an inventory:\n%s", out.String())
+	}
+}

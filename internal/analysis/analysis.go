@@ -216,6 +216,63 @@ func parseIgnores(fset *token.FileSet, file *ast.File, report func(pos token.Pos
 	return out
 }
 
+// Suppression is one well-formed //gridvolint:ignore directive, as
+// inventoried by Suppressions for the suppression audit.
+type Suppression struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Check  string `json:"check"`
+	Reason string `json:"reason"`
+}
+
+// Suppressions inventories every suppression directive in the packages,
+// in file/line order. Malformed directives (unknown check, missing
+// reason) and perfunctory ones (a reason under three words) come back as
+// diagnostics of the pseudo-check "ignore": the reason is the only
+// review artifact explaining why a determinism check does not apply at
+// that site, so a token reason defeats the audit's purpose.
+func Suppressions(fset *token.FileSet, pkgs []*Package) ([]Suppression, []Diagnostic) {
+	var sups []Suppression
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+					if !ok {
+						continue
+					}
+					p := fset.Position(c.Pos())
+					fields := strings.Fields(rest)
+					switch {
+					case len(fields) < 2 || ByName(fields[0]) == nil:
+						diags = append(diags, Diagnostic{File: p.Filename, Line: p.Line, Col: p.Column, Check: "ignore",
+							Message: fmt.Sprintf("malformed suppression %q: want %s <check> <reason> with a known check", c.Text, ignorePrefix)})
+					case len(fields) < 4:
+						diags = append(diags, Diagnostic{File: p.Filename, Line: p.Line, Col: p.Column, Check: "ignore",
+							Message: fmt.Sprintf("perfunctory suppression reason %q: explain why %s does not apply at this site", strings.Join(fields[1:], " "), fields[0])})
+					default:
+						sups = append(sups, Suppression{File: p.Filename, Line: p.Line, Check: fields[0], Reason: strings.Join(fields[1:], " ")})
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(sups, func(i, j int) bool {
+		if sups[i].File != sups[j].File {
+			return sups[i].File < sups[j].File
+		}
+		return sups[i].Line < sups[j].Line
+	})
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].File != diags[j].File {
+			return diags[i].File < diags[j].File
+		}
+		return diags[i].Line < diags[j].Line
+	})
+	return sups, diags
+}
+
 // RunChecks runs the given checks (all of them when checks is nil) over
 // the packages and returns surviving diagnostics sorted by file, line,
 // column, and check name. Suppression directives are applied here, and

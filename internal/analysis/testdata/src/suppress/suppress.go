@@ -47,3 +47,10 @@ func outOfRange(a, b float64) bool {
 	_ = a
 	return a == b // want "exact floating-point == comparison"
 }
+
+// perfunctoryReason carries a one-word reason: enough for the runtime
+// suppression filter, but the -audit inventory flags it as perfunctory.
+func perfunctoryReason(a, b float64) bool {
+	//gridvolint:ignore floatcmp intended
+	return a == b
+}

@@ -1,0 +1,35 @@
+package assign
+
+import (
+	"testing"
+
+	"gridvo/internal/xrand"
+)
+
+// TestSolveSteadyStateZeroAllocs pins the zero-allocation steady state:
+// once the pools are warm and the caller supplies Options.AssignBuf,
+// repeated solves of same-shape instances must not allocate at all. The
+// engine's inner loop relies on this — any allocation regression on the
+// Solve path shows up here as a hard failure rather than a benchmark
+// drift.
+func TestSolveSteadyStateZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc accounting is meaningless")
+	}
+	rng := xrand.New(31)
+	in := randomInstance(rng, 4, 12, 1.1)
+	opts := Options{AssignBuf: make([]int, 0, 12)}
+	solve := func() {
+		sol := Solve(in, opts)
+		if !sol.Feasible {
+			t.Fatal("instance unexpectedly infeasible")
+		}
+		opts.AssignBuf = sol.Assign[:0]
+	}
+	for i := 0; i < 3; i++ {
+		solve() // warm the searcher/scratch pools
+	}
+	if allocs := testing.AllocsPerRun(50, solve); allocs != 0 {
+		t.Fatalf("steady-state Solve allocates %.1f objects per run, want 0", allocs)
+	}
+}

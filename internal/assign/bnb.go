@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"gridvo/internal/fault"
@@ -35,6 +36,24 @@ type Options struct {
 	// affect lower bounds — so they cannot worsen the returned solution.
 	// The slice is read, never modified or retained.
 	SeedAssign []int
+	// DisableTwinPruning turns off the symmetry/dominance rules applied
+	// to GSP pairs with bitwise-identical Cost and Time rows. The rules
+	// are inert on instances without such twins (the mechanism's
+	// continuous random costs never produce them), so the switch exists
+	// for the pruning-identity property tests and for callers that want
+	// the raw search on hand-built symmetric instances.
+	DisableTwinPruning bool
+	// RootBound selects the root lower-bound policy (Σ-min by default;
+	// RootBoundLP opts into the LP relaxation — see the RootBound type).
+	RootBound RootBound
+	// AssignBuf, when non-nil, becomes the backing array for
+	// Solution.Assign (grown when its capacity is short) — the
+	// zero-allocation steady-state mode for callers that solve in a loop.
+	// The caller owns the aliasing consequences: a subsequent solve with
+	// the same buffer overwrites the previous solution's Assign. Callers
+	// that retain solutions (the mechanism engine's cache above all) must
+	// leave it nil.
+	AssignBuf []int
 	// Inject, when non-nil, is the deterministic fault injector visited
 	// once per solve (fault.PointSolve): it can delay the solve (Latency)
 	// or abort the search after a small node count exactly the way a
@@ -93,7 +112,7 @@ func SolveCtx(ctx context.Context, in *Instance, opts Options) Solution {
 	}
 	start := time.Now()
 	k, n := in.NumGSPs(), in.NumTasks()
-	sol := Solution{LowerBound: lowerBoundTotal(in)}
+	sol := Solution{LowerBound: rootLowerBound(in, opts.RootBound)}
 
 	// Degenerate shapes.
 	if k == 0 {
@@ -121,16 +140,25 @@ func SolveCtx(ctx context.Context, in *Instance, opts Options) Solution {
 	// Seed incumbents.
 	seedIncumbents(in, opts, s)
 
-	if ctx.Err() != nil {
+	switch {
+	case ctx.Err() != nil:
 		// Already cancelled: return the heuristic incumbent immediately.
 		s.ctxAborted, s.aborted = true, true
 		s.prunedDeadline++
-	} else {
+	case opts.RootBound != RootBoundSum && s.haveBest &&
+		TotalCost(in, s.bestAssign) <= sol.LowerBound+Eps:
+		// A strengthened root bound already proves the heuristic
+		// incumbent optimal: skip the tree search entirely. (Guarded to
+		// the opt-in bound policies so the default path's node counts
+		// and trajectories stay exactly as recorded by the benchmarks —
+		// under Σ-min the post-search LowerBound check below recovers
+		// the same Optimal verdict.)
+	default:
 		s.prepare()
 		s.dfs(0, 0)
 	}
 
-	if s.bestAssign != nil {
+	if s.haveBest {
 		sol.Feasible = true
 		// Canonical cost: recompute in task-index order so the reported
 		// figure does not depend on which incumbent (heuristic, seed, or
@@ -138,11 +166,15 @@ func SolveCtx(ctx context.Context, in *Instance, opts Options) Solution {
 		// — warm- and cold-started solves that find the same assignment
 		// report bit-identical costs.
 		sol.Cost = TotalCost(in, s.bestAssign)
-		sol.Assign = append([]int(nil), s.bestAssign...)
+		if opts.AssignBuf != nil {
+			sol.Assign = append(opts.AssignBuf[:0], s.bestAssign...)
+		} else {
+			sol.Assign = append([]int(nil), s.bestAssign...)
+		}
 	}
 	s.fill(&sol)
-	s.release()
 	sol.Optimal = !s.aborted
+	s.release()
 	if sol.Feasible && sol.Cost <= sol.LowerBound+Eps {
 		// Incumbent meets the global lower bound: optimal regardless of
 		// whether the search was truncated.
@@ -153,59 +185,76 @@ func SolveCtx(ctx context.Context, in *Instance, opts Options) Solution {
 }
 
 // newSearcher builds the DFS state shared by the serial and root-split
-// solvers. rootOnly restricts the first branching task (-1 = full search).
+// solvers, drawing the searcher struct and its scratch buffers from the
+// package pools. rootOnly restricts the first branching task (-1 = full
+// search). Every searcher must be released exactly once.
 func newSearcher(ctx context.Context, in *Instance, opts Options, budget int64, rootOnly int) *searcher {
 	checkEvery := opts.CtxCheckEvery
 	if checkEvery <= 0 {
 		checkEvery = DefaultCtxCheckEvery
 	}
-	return &searcher{
+	s := searcherPool.Get().(*searcher)
+	sc := scratchPool.Get().(*searchScratch)
+	*s = searcher{
 		in:           in,
 		k:            in.NumGSPs(),
 		n:            in.NumTasks(),
 		budget:       budget,
 		bestCost:     math.Inf(1),
 		cap:          in.budgetCap(),
+		deadline:     in.Deadline,
 		rootOnly:     rootOnly,
+		disableTwin:  opts.DisableTwinPruning,
 		ctx:          ctx,
 		checkEvery:   checkEvery,
 		ctxCountdown: checkEvery,
+		scratch:      sc,
 	}
+	s.maxT = maxTimes(in, &sc.maxT)
+	sc.heur.maxT = s.maxT
+	s.bestAssign = growInts(&sc.best, s.n)
+	return s
 }
 
 // seedIncumbents warms the searcher with heuristic assignments and, when
 // Options.SeedAssign is set, the repaired warm-start seed. Heuristics run
 // first so the seed counters can report whether inherited incumbents beat
-// them.
+// them. All candidates are built in the searcher's pooled heuristic
+// buffers; winners are copied into bestAssign before the next candidate
+// overwrites them.
 func seedIncumbents(in *Instance, opts Options, s *searcher) {
+	hb := &s.scratch.heur
 	if !opts.DisableHeuristics {
 		n := in.NumTasks()
-		candidates := []Heuristic{HeuristicGreedyCost, HeuristicMCT}
+		heurs := [...]Heuristic{HeuristicGreedyCost, HeuristicMCT, HeuristicMinMin, HeuristicSufferage}
+		candidates := heurs[:2]
 		if n <= 1024 {
-			candidates = append(candidates, HeuristicMinMin, HeuristicSufferage)
+			candidates = heurs[:]
 		}
 		for _, h := range candidates {
-			a := RunHeuristic(in, h)
+			a := runHeuristicBuf(in, h, hb)
 			if a == nil {
 				continue
 			}
-			LocalSearch(in, a, opts.LocalSearchPasses)
-			if Verify(in, a) != nil {
+			localSearchBuf(in, a, opts.LocalSearchPasses, hb.load, hb.count)
+			if verifyBuf(in, a, hb.load, hb.count) != nil {
 				continue
 			}
 			if c := TotalCost(in, a); c < s.bestCost {
 				s.bestCost = c
 				s.bestAssign = append(s.bestAssign[:0], a...)
+				s.haveBest = true
 				s.incumbents++
 			}
 		}
 	}
 	if opts.SeedAssign != nil {
-		if a := repairSeed(in, opts.SeedAssign, opts.LocalSearchPasses); a != nil {
+		if a := repairSeedBuf(in, opts.SeedAssign, opts.LocalSearchPasses, hb); a != nil {
 			s.seedAccepted = 1
 			if c := TotalCost(in, a); c < s.bestCost {
 				s.bestCost = c
 				s.bestAssign = append(s.bestAssign[:0], a...)
+				s.haveBest = true
 				s.incumbents++
 				s.seedWins = 1
 			}
@@ -215,23 +264,45 @@ func seedIncumbents(in *Instance, opts Options, s *searcher) {
 
 // searcher holds the DFS state for one Solve call.
 type searcher struct {
-	in     *Instance
-	k, n   int
-	budget int64
-	cap    float64 // budget constraint (payment), +Inf if none
+	in       *Instance
+	k, n     int
+	budget   int64
+	cap      float64 // budget constraint (payment), +Inf if none
+	deadline float64 // Instance.Deadline, hoisted off the hot loop
 
-	order     []int     // tasks in branching order (descending max time)
-	gspOrder  [][]int   // per ordered-task: GSPs by ascending cost
-	sufMin    []float64 // sufMin[idx] = Σ_{q>=idx} min_g cost(g, order[q])
-	load      []float64
-	count     []int
+	order    []int     // tasks in branching order (descending max time)
+	gspOrder [][]int   // per ordered-task: GSPs by ascending cost
+	sufMin   []float64 // sufMin[idx] = Σ_{q>=idx} min_g cost(g, order[q])
+	// posCost/posTime mirror Cost/Time in (position, cost-rank) layout:
+	// posCost[pos*k+r] = Cost[gspOrder[pos][r]][order[pos]]. The DFS inner
+	// loop reads them sequentially instead of chasing row pointers; the
+	// values are bit-identical copies, so the search trajectory cannot
+	// change.
+	posCost   []float64
+	posTime   []float64
+	maxT      []float64 // per-task max execution time (branch priority key)
+	st        []gspState
 	uncovered int
 	assign    []int // assign[orderPos] = gsp
+	// twins[g] is the largest g' < g whose Cost and Time rows are
+	// bitwise identical to g's, or -1; the slice is nil when the
+	// instance has no twins (or pruning is disabled), which is the
+	// single branch the hot loop pays on twin-free instances.
+	twins       []int
+	disableTwin bool
 
 	bestCost   float64
-	bestAssign []int // indexed by task id (not order position)
+	bestAssign []int // indexed by task id (not order position); pooled backing
+	haveBest   bool  // bestAssign holds a feasible incumbent
 	nodes      int64
 	aborted    bool
+
+	// shared, when non-nil, is the work-stealing pool's atomic
+	// best-incumbent bound (float bits): the search adopts it for pruning
+	// whenever it is tighter than the local incumbent and publishes every
+	// local improvement back. bestCost may therefore dip below the cost
+	// of bestAssign; merges compare canonical TotalCost, never bestCost.
+	shared *atomic.Uint64
 
 	// Context plumbing: ctx is polled every checkEvery nodes via a
 	// countdown so the hot loop stays divisor-free.
@@ -244,12 +315,14 @@ type searcher struct {
 	cancelAfter int64
 
 	// Instrumentation counters feeding Solution.Stats.
-	prunedBound    int64
-	prunedDeadline int64
-	prunedBudget   int64
-	incumbents     int64
-	seedAccepted   int64
-	seedWins       int64
+	prunedBound     int64
+	prunedDeadline  int64
+	prunedBudget    int64
+	prunedSymmetry  int64
+	prunedDominance int64
+	incumbents      int64
+	seedAccepted    int64
+	seedWins        int64
 
 	// scratch is the pooled buffer set backing the slices above; release()
 	// returns it once the solve no longer references them.
@@ -270,6 +343,8 @@ func (s *searcher) fill(sol *Solution) {
 	sol.Stats.PrunedByBound += s.prunedBound
 	sol.Stats.PrunedByDeadline += s.prunedDeadline
 	sol.Stats.PrunedByBudget += s.prunedBudget
+	sol.Stats.PrunedBySymmetry += s.prunedSymmetry
+	sol.Stats.PrunedByDominance += s.prunedDominance
 	sol.Stats.IncumbentUpdates += s.incumbents
 	sol.Stats.SeedAccepted += s.seedAccepted
 	sol.Stats.SeedWins += s.seedWins
@@ -277,70 +352,111 @@ func (s *searcher) fill(sol *Solution) {
 
 func (s *searcher) prepare() {
 	in := s.in
-	sc := scratchPool.Get().(*searchScratch)
-	s.scratch = sc
+	sc := s.scratch
 	s.order = growInts(&sc.order, s.n)
 	for j := range s.order {
 		s.order[j] = j
 	}
 	// Branch on hard (long) tasks first: they constrain the deadline
-	// most, failing early instead of deep.
-	maxT := growFloats(&sc.maxT, s.n)
-	for j := 0; j < s.n; j++ {
-		maxT[j] = maxTime(in, j)
-	}
-	sort.SliceStable(s.order, func(a, b int) bool { return maxT[s.order[a]] > maxT[s.order[b]] })
+	// most, failing early instead of deep. maxT was computed by
+	// newSearcher (the heuristic seeding phase shares it).
+	sc.taskSort.ids, sc.taskSort.key = s.order, s.maxT
+	sort.Stable(&sc.taskSort)
 
 	// gspOrder rows share one flat backing array (better locality, one
 	// allocation). Every row is reset to the identity permutation before
-	// sorting so pooled leftovers cannot perturb the stable sort.
+	// sorting so pooled leftovers cannot perturb the stable sort. The
+	// cheapest rank of each row doubles as the per-task minimum summed by
+	// the Σ-min suffix bound.
 	flat := growInts(&sc.gspFlat, s.n*s.k)
 	if cap(sc.gspRows) < s.n {
 		sc.gspRows = make([][]int, s.n)
 	}
 	s.gspOrder = sc.gspRows[:s.n]
-	for pos, t := range s.order {
-		gs := flat[pos*s.k : (pos+1)*s.k : (pos+1)*s.k]
-		for g := range gs {
-			gs[g] = g
-		}
-		sort.SliceStable(gs, func(a, b int) bool { return in.Cost[gs[a]][t] < in.Cost[gs[b]][t] })
-		s.gspOrder[pos] = gs
-	}
-
+	s.posCost = growFloats(&sc.posCost, s.n*s.k)
+	s.posTime = growFloats(&sc.posTime, s.n*s.k)
+	costRow := growFloats(&sc.costRow, s.k)
 	s.sufMin = growFloats(&sc.sufMin, s.n+1)
 	s.sufMin[s.n] = 0
 	for pos := s.n - 1; pos >= 0; pos-- {
 		t := s.order[pos]
-		m := in.Cost[0][t]
-		for g := 1; g < s.k; g++ {
-			if in.Cost[g][t] < m {
-				m = in.Cost[g][t]
-			}
+		gs := flat[pos*s.k : (pos+1)*s.k : (pos+1)*s.k]
+		for g := range gs {
+			gs[g] = g
+			costRow[g] = in.Cost[g][t]
 		}
-		s.sufMin[pos] = s.sufMin[pos+1] + m
+		sortIDsByKeyAsc(gs, costRow)
+		s.gspOrder[pos] = gs
+		pc := s.posCost[pos*s.k : (pos+1)*s.k]
+		pt := s.posTime[pos*s.k : (pos+1)*s.k]
+		for r, g := range gs {
+			pc[r] = costRow[g]
+			pt[r] = in.Time[g][t]
+		}
+		s.sufMin[pos] = s.sufMin[pos+1] + pc[0]
 	}
 
-	s.load = growFloats(&sc.load, s.k)
-	s.count = growInts(&sc.count, s.k)
-	for g := 0; g < s.k; g++ {
-		s.load[g] = 0
-		s.count[g] = 0
+	s.st = growStates(&sc.gstate, s.k)
+	for g := range s.st {
+		s.st[g] = gspState{}
 	}
 	s.uncovered = s.k
 	s.assign = growInts(&sc.assign, s.n)
+
+	// Twin detection: GSP pairs with bitwise-identical Cost and Time
+	// rows are interchangeable, so the DFS can break their symmetry (see
+	// the rules in the hot loop). On continuous random data the first
+	// element of a row pair already differs, so detection is O(k²) in
+	// practice and s.twins stays nil — the hot loop then pays a single
+	// never-taken nil check.
+	s.twins = nil
+	if !s.disableTwin && s.k >= 2 {
+		twin := growInts(&sc.twin, s.k)
+		any := false
+		for g := range twin {
+			twin[g] = -1
+			for h := g - 1; h >= 0; h-- {
+				if rowsEqual(in.Cost[h], in.Cost[g]) && rowsEqual(in.Time[h], in.Time[g]) {
+					twin[g] = h
+					any = true
+					break
+				}
+			}
+		}
+		if any {
+			s.twins = twin
+		}
+	}
 }
 
-// release returns the pooled scratch buffers. The searcher's slice views
-// are nilled so a use-after-release fails loudly instead of corrupting a
-// concurrent solve; bestAssign is not pooled and stays valid.
+// rowsEqual reports whether two matrix rows are exactly float-equal
+// (Validate rejects NaN, so == is total here; ±0 compare equal and are
+// arithmetically interchangeable in every sum the search forms). Exact
+// comparison is the point: the twin-pruning rules are sound only for
+// perfectly interchangeable GSPs, and epsilon-equal rows are not
+// interchangeable (swapping them changes totals).
+//
+//gridvolint:ignore floatcmp twin soundness requires bitwise row identity, not epsilon closeness
+func rowsEqual(a, b []float64) bool {
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// release returns the scratch buffers and the searcher itself to the
+// package pools. Callers must copy bestAssign and read every counter they
+// need first: the struct is zeroed, so a use-after-release fails loudly
+// instead of corrupting a concurrent solve.
 func (s *searcher) release() {
 	if s.scratch == nil {
 		return
 	}
-	s.order, s.gspOrder, s.sufMin, s.load, s.count, s.assign = nil, nil, nil, nil, nil, nil
 	scratchPool.Put(s.scratch)
-	s.scratch = nil
+	*s = searcher{}
+	searcherPool.Put(s)
 }
 
 func (s *searcher) dfs(pos int, costSoFar float64) {
@@ -368,16 +484,22 @@ func (s *searcher) dfs(pos int, costSoFar float64) {
 			return
 		}
 	}
+	if s.shared != nil {
+		if sb := math.Float64frombits(s.shared.Load()); sb < s.bestCost {
+			s.bestCost = sb
+		}
+	}
 	if pos == s.n {
 		if s.uncovered == 0 && costSoFar < s.bestCost && costSoFar <= s.cap+Eps {
 			s.bestCost = costSoFar
-			if s.bestAssign == nil {
-				s.bestAssign = make([]int, s.n)
-			}
 			for p, t := range s.order {
 				s.bestAssign[t] = s.assign[p]
 			}
+			s.haveBest = true
 			s.incumbents++
+			if s.shared != nil {
+				casMinFloat(s.shared, s.bestCost)
+			}
 		}
 		return
 	}
@@ -391,17 +513,53 @@ func (s *searcher) dfs(pos int, costSoFar float64) {
 		s.prunedBound++
 		return
 	}
-	t := s.order[pos]
+	// Hot loop. Invariants are hoisted into locals — dl is the exact
+	// deadline+Eps value the un-hoisted comparison produced, nc+sufNext
+	// preserves the left-associated (costSoFar+ct)+sufNext evaluation
+	// order, and bc caches bestCost−Eps, refreshed at the only points
+	// bestCost can move (a child's return). No float expression is
+	// reassociated, so every comparison resolves exactly as before.
 	mustCover := s.uncovered == remaining
-	for _, g := range s.gspOrder[pos] {
+	base := pos * s.k
+	pc := s.posCost[base : base+s.k]
+	pt := s.posTime[base : base+s.k]
+	gs := s.gspOrder[pos]
+	sufNext := s.sufMin[pos+1]
+	dl := s.deadline + Eps
+	st := s.st
+	tw := s.twins
+	bc := s.bestCost - Eps
+	for r, g := range gs {
 		if pos == 0 && s.rootOnly >= 0 && g != s.rootOnly {
 			continue
 		}
-		if mustCover && s.count[g] > 0 {
+		if mustCover && st[g].count > 0 {
 			continue
 		}
-		ct := s.in.Cost[g][t]
-		if costSoFar+ct+s.sufMin[pos+1] >= s.bestCost-Eps {
+		if tw != nil {
+			if h := tw[g]; h >= 0 {
+				// g and h are interchangeable (identical rows; h < g, so
+				// the cost-stable GSP order visits h first at every
+				// position). Symmetry: a branch opening g while h is
+				// still empty mirrors one opening h instead — require
+				// twins to be opened in index order. Dominance: with h
+				// in use and equal loads, the subtree under "task → g"
+				// maps solution-for-solution (swap the twins' future
+				// tasks) onto the already-explored subtree under
+				// "task → h", at identical cost and feasibility.
+				if st[h].count == 0 {
+					s.prunedSymmetry++
+					continue
+				}
+				//gridvolint:ignore floatcmp dominance requires exactly interchangeable residual capacity
+				if st[g].count > 0 && st[h].load == st[g].load {
+					s.prunedDominance++
+					continue
+				}
+			}
+		}
+		nc := costSoFar + pc[r]
+		if nc+sufNext >= bc {
 			// GSPs are cost-sorted: no later g can be better either,
 			// unless the coverage filter skipped cheaper ones.
 			if !mustCover {
@@ -409,25 +567,26 @@ func (s *searcher) dfs(pos int, costSoFar float64) {
 			}
 			continue
 		}
-		tt := s.in.Time[g][t]
-		if s.load[g]+tt > s.in.Deadline+Eps {
+		tt := pt[r]
+		if st[g].load+tt > dl {
 			continue
 		}
-		s.load[g] += tt
-		s.count[g]++
-		if s.count[g] == 1 {
+		st[g].load += tt
+		st[g].count++
+		if st[g].count == 1 {
 			s.uncovered--
 		}
 		s.assign[pos] = g
-		s.dfs(pos+1, costSoFar+ct)
-		s.load[g] -= tt
-		s.count[g]--
-		if s.count[g] == 0 {
+		s.dfs(pos+1, nc)
+		st[g].load -= tt
+		st[g].count--
+		if st[g].count == 0 {
 			s.uncovered++
 		}
 		if s.aborted {
 			return
 		}
+		bc = s.bestCost - Eps
 	}
 }
 

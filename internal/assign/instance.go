@@ -96,6 +96,16 @@ type Stats struct {
 	// PrunedByBudget counts search interruptions by node-budget
 	// exhaustion (same cardinality as PrunedByDeadline).
 	PrunedByBudget int64
+	// PrunedBySymmetry counts branches skipped by the twin symmetry
+	// rule: a GSP with an identical-row twin of lower index may not be
+	// opened while that twin is still empty. Always zero on instances
+	// without identical-row GSP pairs.
+	PrunedBySymmetry int64
+	// PrunedByDominance counts branches skipped by the twin dominance
+	// rule: assigning a task to a GSP whose identical-row twin carries
+	// exactly the same load explores a subtree isomorphic to one already
+	// searched. Always zero on instances without identical-row pairs.
+	PrunedByDominance int64
 	// IncumbentUpdates counts strict improvements of the best feasible
 	// assignment, heuristic seeds included.
 	IncumbentUpdates int64
@@ -171,12 +181,22 @@ var (
 // Verify checks an assignment against all five IP constraints, returning a
 // wrapped sentinel error identifying the first violation, or nil.
 func Verify(in *Instance, assign []int) error {
+	k := in.NumGSPs()
+	return verifyBuf(in, assign, make([]float64, k), make([]int, k))
+}
+
+// verifyBuf is Verify with caller-provided load/count buffers (len k,
+// fully overwritten) — the allocation-free path under the solver's
+// seeding loop.
+func verifyBuf(in *Instance, assign []int, load []float64, count []int) error {
 	k, n := in.NumGSPs(), in.NumTasks()
 	if len(assign) != n {
 		return fmt.Errorf("%w: %d vs %d", ErrWrongLength, len(assign), n)
 	}
-	load := make([]float64, k)
-	count := make([]int, k)
+	for g := 0; g < k; g++ {
+		load[g] = 0
+		count[g] = 0
+	}
 	total := 0.0
 	for j, g := range assign {
 		if g < 0 || g >= k {

@@ -1,0 +1,30 @@
+package assign
+
+import (
+	"fmt"
+	"testing"
+
+	"gridvo/internal/xrand"
+)
+
+func BenchmarkNodeRate(b *testing.B) {
+	for _, sh := range []struct {
+		k, n  int
+		slack float64
+	}{{8, 40, 0.35}, {12, 64, 0.3}, {16, 96, 0.28}, {16, 256, 0.25}} {
+		in := randomInstance(xrand.New(99), sh.k, sh.n, sh.slack)
+		b.Run(fmt.Sprintf("k%d_n%d", sh.k, sh.n), func(b *testing.B) {
+			var nodes int64
+			for i := 0; i < b.N; i++ {
+				sol := Solve(in, Options{})
+				nodes += sol.Nodes
+			}
+			b.StopTimer()
+			if nodes/int64(b.N) < 1000 {
+				b.Skip("too few nodes")
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(nodes), "ns/node")
+			b.ReportMetric(float64(nodes)/float64(b.N), "nodes/op")
+		})
+	}
+}

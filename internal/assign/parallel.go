@@ -2,25 +2,51 @@ package assign
 
 import (
 	"context"
+	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// SolveParallel is Solve with the branch-and-bound root split across a
-// worker pool: the first branching task's GSP choices partition the search
-// space into disjoint subtrees, each explored by an independent searcher.
-// The partition is fixed, each subtree gets an equal share of the node
-// budget, and workers do not exchange bounds, so the result is
-// deterministic regardless of scheduling — the merge of per-subtree optima
-// is the global optimum whenever no subtree hit its budget.
+// SolveParallel is Solve with the branch-and-bound root split into
+// subtree units executed by a work-stealing worker pool: the first
+// branching task's GSP choices (in the serial search's cost-ascending
+// order) form a bounded deque of subtree descriptors, each worker drains
+// an owned segment front-to-back and steals from other segments
+// back-to-front when idle, and a shared atomic best-incumbent bound
+// tightens pruning across all workers as soon as any of them improves.
 //
-// Not sharing incumbents across workers costs some pruning power compared
-// to an ideal parallel B&B; the heuristic incumbent (computed once,
-// serially) still seeds every subtree, which recovers most of it in
-// practice. workers <= 0 selects GOMAXPROCS.
+// Determinism: each unit is a fixed, disjoint subtree; the merge walks
+// units in the serial root order and takes the first strict improvement
+// by canonical (task-index-order) cost, so the returned selection is the
+// one the serial solve produces whenever the search completes —
+// independent of worker count and steal timing. (Like the serial solve,
+// bound pruning tolerates Eps; a parallel run can thus differ from the
+// serial one only on instances where two distinct assignments' costs
+// coincide within Eps, which the mechanism's continuous random costs
+// never produce.) Node-budget-truncated parallel searches are the one
+// timing-dependent case: where the budget bites depends on how fast the
+// shared bound tightened. workers <= 0 selects GOMAXPROCS.
 func SolveParallel(in *Instance, opts Options, workers int) Solution {
 	return SolveParallelCtx(context.Background(), in, opts, workers)
+}
+
+// casMinFloat lowers the shared best-incumbent bound to c when c is
+// smaller. Costs are non-negative, and non-negative IEEE-754 doubles
+// order identically to their bit patterns, so a CAS loop over the raw
+// bits implements an atomic floating-point min.
+func casMinFloat(shared *atomic.Uint64, c float64) {
+	bits := math.Float64bits(c)
+	for {
+		old := shared.Load()
+		if bits >= old {
+			return
+		}
+		if shared.CompareAndSwap(old, bits) {
+			return
+		}
+	}
 }
 
 // SolveParallelCtx is SolveParallel honoring ctx: each subtree searcher
@@ -35,7 +61,7 @@ func SolveParallelCtx(ctx context.Context, in *Instance, opts Options, workers i
 	}
 	start := time.Now()
 	k, n := in.NumGSPs(), in.NumTasks()
-	sol := Solution{LowerBound: lowerBoundTotal(in)}
+	sol := Solution{LowerBound: rootLowerBound(in, opts.RootBound)}
 	if k == 0 {
 		sol.Feasible = n == 0
 		sol.Optimal = true
@@ -64,11 +90,18 @@ func SolveParallelCtx(ctx context.Context, in *Instance, opts Options, workers i
 		}
 	}
 
-	// Shared heuristic incumbent, computed once.
+	// Shared heuristic incumbent, computed once. The seed searcher stays
+	// unreleased until the merge: its pooled bestAssign seeds every unit.
 	seed := newSearcher(ctx, in, opts, perSubtree, -1)
 	seedIncumbents(in, opts, seed)
 	incumbentCost := seed.bestCost
-	incumbentAssign := seed.bestAssign
+	var incumbentAssign []int
+	if seed.haveBest {
+		incumbentAssign = seed.bestAssign
+	}
+	sol.Stats.IncumbentUpdates = seed.incumbents
+	sol.Stats.SeedAccepted = seed.seedAccepted
+	sol.Stats.SeedWins = seed.seedWins
 
 	if ctx.Err() != nil {
 		// Already cancelled: skip the subtree searches entirely.
@@ -77,60 +110,115 @@ func SolveParallelCtx(ctx context.Context, in *Instance, opts Options, workers i
 			sol.Cost = TotalCost(in, incumbentAssign)
 			sol.Assign = append([]int(nil), incumbentAssign...)
 		}
-		sol.Stats.IncumbentUpdates = seed.incumbents
-		sol.Stats.SeedAccepted = seed.seedAccepted
-		sol.Stats.SeedWins = seed.seedWins
+		seed.release()
 		sol.Stats.PrunedByDeadline = 1
 		sol.Optimal = sol.Feasible && sol.Cost <= sol.LowerBound+Eps
 		sol.Stats.WallTime = time.Since(start)
 		return sol
 	}
 
-	results := make([]*searcher, k)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
+	// Unit order mirrors the serial search's root loop: the first
+	// branching task is the stable max-time task, its GSP choices in
+	// ascending-cost order. Exploring and merging in this order is what
+	// keeps the returned selection identical to the serial solve's.
+	var mtBuf []float64
+	maxT := maxTimes(in, &mtBuf)
+	t0 := 0
+	for j := 1; j < n; j++ {
+		if maxT[j] > maxT[t0] {
+			t0 = j
+		}
+	}
+	units := make([]int, k)
+	costRow := make([]float64, k)
 	for g := 0; g < k; g++ {
+		units[g] = g
+		costRow[g] = in.Cost[g][t0]
+	}
+	sortIDsByKeyAsc(units, costRow)
+
+	if workers > len(units) {
+		workers = len(units)
+	}
+
+	// The shared bound starts at the heuristic incumbent (+Inf bits when
+	// none: still ordered correctly under the bit-pattern min).
+	shared := new(atomic.Uint64)
+	shared.Store(math.Float64bits(incumbentCost))
+
+	results := make([]*searcher, len(units))
+	claimed := make([]atomic.Bool, len(units))
+	runUnit := func(u int) {
+		s := newSearcher(ctx, in, opts, perSubtree, units[u])
+		s.bestCost = incumbentCost
+		if incumbentAssign != nil {
+			s.bestAssign = append(s.bestAssign[:0], incumbentAssign...)
+			s.haveBest = true
+		}
+		s.shared = shared
+		s.prepare()
+		s.dfs(0, 0)
+		results[u] = s
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		sem <- struct{}{}
-		go func(root int) {
-			defer func() {
-				<-sem
-				wg.Done()
-			}()
-			s := newSearcher(ctx, in, opts, perSubtree, root)
-			s.bestCost = incumbentCost
-			if incumbentAssign != nil {
-				s.bestAssign = append([]int(nil), incumbentAssign...)
+		go func(w int) {
+			defer wg.Done()
+			// Drain the owned deque segment front-to-back…
+			lo, hi := w*len(units)/workers, (w+1)*len(units)/workers
+			for u := lo; u < hi; u++ {
+				if claimed[u].CompareAndSwap(false, true) {
+					runUnit(u)
+				}
 			}
-			s.prepare()
-			s.dfs(0, 0)
-			s.release() // counters and bestAssign stay valid
-			results[root] = s
-		}(g)
+			// …then steal from the other segments back-to-front. The
+			// per-unit CAS guarantees every subtree runs exactly once no
+			// matter how owners and thieves interleave.
+			for v := 1; v < workers; v++ {
+				vw := (w + v) % workers
+				vlo, vhi := vw*len(units)/workers, (vw+1)*len(units)/workers
+				for u := vhi - 1; u >= vlo; u-- {
+					if claimed[u].CompareAndSwap(false, true) {
+						runUnit(u)
+					}
+				}
+			}
+		}(w)
 	}
 	wg.Wait()
 
-	best := incumbentCost
-	bestAssign := incumbentAssign
+	// Merge in serial root order with strict improvement on canonical
+	// task-index-order cost: exactly the incumbent-replacement rule the
+	// serial loop applies, so ties resolve to the same assignment.
+	bestCost := math.Inf(1)
+	var bestAssign []int
+	if incumbentAssign != nil {
+		bestCost = TotalCost(in, incumbentAssign)
+		bestAssign = incumbentAssign
+	}
 	allComplete := true
-	sol.Stats.IncumbentUpdates = seed.incumbents
-	sol.Stats.SeedAccepted = seed.seedAccepted
-	sol.Stats.SeedWins = seed.seedWins
 	for _, s := range results {
 		s.fill(&sol)
 		if s.aborted {
 			allComplete = false
 		}
-		if s.bestAssign != nil && s.bestCost < best {
-			best = s.bestCost
-			bestAssign = s.bestAssign
+		if s.haveBest {
+			if c := TotalCost(in, s.bestAssign); c < bestCost {
+				bestCost = c
+				bestAssign = s.bestAssign
+			}
 		}
 	}
 	if bestAssign != nil {
 		sol.Feasible = true
-		// Canonical task-index-order cost, as in SolveCtx.
-		sol.Cost = TotalCost(in, bestAssign)
+		sol.Cost = bestCost
 		sol.Assign = append([]int(nil), bestAssign...)
+	}
+	seed.release()
+	for _, s := range results {
+		s.release()
 	}
 	sol.Optimal = allComplete
 	if sol.Feasible && sol.Cost <= sol.LowerBound+Eps {

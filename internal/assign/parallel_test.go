@@ -45,6 +45,41 @@ func TestSolveParallelDeterministic(t *testing.T) {
 	}
 }
 
+// TestSolveParallelWorkerSweep is the work-stealing determinism
+// property: for completed searches the returned selection — not just its
+// cost — must be identical across worker counts, including the
+// degenerate single-worker pool. Run under -race this also exercises the
+// shared-bound CAS and per-unit claim paths for data races.
+func TestSolveParallelWorkerSweep(t *testing.T) {
+	rng := xrand.New(9)
+	for trial := 0; trial < 8; trial++ {
+		k := 2 + rng.IntN(4)
+		n := k + 6 + rng.IntN(6)
+		in := randomInstance(rng, k, n, 0.9+0.6*rng.Float64())
+		var ref Solution
+		for i, workers := range [...]int{1, 2, 8} {
+			sol := SolveParallel(in, Options{NodeBudget: -1}, workers)
+			if i == 0 {
+				ref = sol
+				continue
+			}
+			// Node counts may differ across worker counts (the shared
+			// bound tightens at timing-dependent points); the returned
+			// selection must not.
+			if sol.Feasible != ref.Feasible || sol.Cost != ref.Cost {
+				t.Fatalf("trial %d: workers=%d diverges: %v/%v vs %v/%v", trial, workers,
+					sol.Feasible, sol.Cost, ref.Feasible, ref.Cost)
+			}
+			for j := range ref.Assign {
+				if sol.Assign[j] != ref.Assign[j] {
+					t.Fatalf("trial %d: workers=%d selects task %d → %d, workers=1 → %d",
+						trial, workers, j, sol.Assign[j], ref.Assign[j])
+				}
+			}
+		}
+	}
+}
+
 func TestSolveParallelDegenerate(t *testing.T) {
 	sol := SolveParallel(&Instance{}, Options{}, 2)
 	if !sol.Feasible || !sol.Optimal {

@@ -1,0 +1,110 @@
+package assign
+
+import (
+	"testing"
+
+	"gridvo/internal/xrand"
+)
+
+// TestLPRootBoundBrackets checks the bound hierarchy on random
+// instances: Σ-min ≤ LP bound ≤ optimal cost (within Eps slack for the
+// simplex's own tolerance).
+func TestLPRootBoundBrackets(t *testing.T) {
+	rng := xrand.New(21)
+	tightened := 0
+	for trial := 0; trial < 30; trial++ {
+		k := 2 + rng.IntN(3)
+		n := k + rng.IntN(6)
+		in := randomInstance(rng, k, n, 0.7+0.6*rng.Float64())
+		sum := lowerBoundTotal(in)
+		lb := rootLowerBound(in, RootBoundLP)
+		if lb < sum {
+			t.Fatalf("trial %d: LP bound %v below Σ-min %v", trial, lb, sum)
+		}
+		if lb > sum {
+			tightened++
+		}
+		sol := Solve(in, Options{NodeBudget: -1})
+		if sol.Feasible && sol.Cost < lb-Eps {
+			t.Fatalf("trial %d: LP bound %v exceeds optimal cost %v", trial, lb, sol.Cost)
+		}
+	}
+	if tightened == 0 {
+		t.Error("LP bound never strengthened Σ-min across 30 random instances")
+	}
+}
+
+// TestRootBoundLPSameSolution: the bound policy must not change what the
+// solver returns, only how it proves it.
+func TestRootBoundLPSameSolution(t *testing.T) {
+	rng := xrand.New(22)
+	for trial := 0; trial < 15; trial++ {
+		in := randomInstance(rng, 2+rng.IntN(3), 4+rng.IntN(6), 0.8+rng.Float64())
+		def := Solve(in, Options{NodeBudget: -1})
+		lpb := Solve(in, Options{NodeBudget: -1, RootBound: RootBoundLP})
+		if def.Feasible != lpb.Feasible || def.Cost != lpb.Cost {
+			t.Fatalf("trial %d: solutions diverge: %v/%v vs %v/%v",
+				trial, def.Feasible, def.Cost, lpb.Feasible, lpb.Cost)
+		}
+		if lpb.LowerBound < def.LowerBound {
+			t.Fatalf("trial %d: LP lower bound %v weaker than Σ-min %v",
+				trial, lpb.LowerBound, def.LowerBound)
+		}
+		if def.Optimal && !lpb.Optimal {
+			t.Fatalf("trial %d: LP bound lost the optimality proof", trial)
+		}
+	}
+}
+
+// TestRootBoundLPSkipsSearch: when the LP bound proves a heuristic
+// incumbent optimal, the tree search is skipped entirely.
+func TestRootBoundLPSkipsSearch(t *testing.T) {
+	// All costs equal: every full assignment costs n, the LP bound is n,
+	// and the first heuristic already attains it.
+	in := &Instance{
+		Cost:     [][]float64{{1, 1, 1, 1, 1}, {1, 1, 1, 1, 1}},
+		Time:     [][]float64{{1, 2, 1, 2, 1}, {2, 1, 2, 1, 2}},
+		Deadline: 20,
+	}
+	sol := Solve(in, Options{RootBound: RootBoundLP})
+	if !sol.Feasible || !sol.Optimal {
+		t.Fatalf("expected optimal feasible solution, got %+v", sol)
+	}
+	if sol.Cost != 5 {
+		t.Fatalf("cost %v, want 5", sol.Cost)
+	}
+	if sol.Stats.Nodes != 0 {
+		t.Fatalf("tree search ran (%d nodes) despite a proving root bound", sol.Stats.Nodes)
+	}
+}
+
+// TestLPRootBoundSizeGate: past LPRootBoundMaxVars variables the bound
+// must silently fall back to Σ-min.
+func TestLPRootBoundSizeGate(t *testing.T) {
+	rng := xrand.New(23)
+	in := randomInstance(rng, 8, 200, 1.2) // 1600 vars > gate
+	if lb := rootLowerBound(in, RootBoundLP); lb != lowerBoundTotal(in) {
+		t.Fatalf("size gate did not fall back: %v vs %v", lb, lowerBoundTotal(in))
+	}
+	if _, ok := lpRootBound(in); ok {
+		t.Fatal("lpRootBound ignored the size gate")
+	}
+}
+
+// TestLPRootBoundInfeasibleFallback: an infeasible relaxation (deadline
+// too tight for any fractional assignment) falls back to Σ-min rather
+// than emitting a bogus bound, and the solver still reports infeasible.
+func TestLPRootBoundInfeasibleFallback(t *testing.T) {
+	in := &Instance{
+		Cost:     [][]float64{{1, 2, 3}, {3, 2, 1}},
+		Time:     [][]float64{{5, 5, 5}, {5, 5, 5}},
+		Deadline: 1, // no task fits anywhere
+	}
+	if lb := rootLowerBound(in, RootBoundLP); lb != lowerBoundTotal(in) {
+		t.Fatalf("infeasible relaxation changed the bound: %v vs %v", lb, lowerBoundTotal(in))
+	}
+	sol := Solve(in, Options{NodeBudget: -1, RootBound: RootBoundLP})
+	if sol.Feasible || !sol.Optimal {
+		t.Fatalf("expected proven infeasibility, got %+v", sol)
+	}
+}

@@ -1,0 +1,50 @@
+package assign
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"testing"
+
+	"gridvo/internal/xrand"
+)
+
+// TestTrajectorySnapshot writes an exact behavioral fingerprint of the
+// solver across a corpus of random instances to the file named by
+// GRIDVO_TRAJSNAP, or compares against it when the file exists.
+func TestTrajectorySnapshot(t *testing.T) {
+	path := os.Getenv("GRIDVO_TRAJSNAP")
+	if path == "" {
+		t.Skip("GRIDVO_TRAJSNAP not set")
+	}
+	var out []byte
+	rng := xrand.New(12345)
+	for trial := 0; trial < 120; trial++ {
+		k := rng.UniformInt(1, 16)
+		n := rng.UniformInt(k, 80)
+		slack := rng.Uniform(0.2, 1.5)
+		in := randomInstance(rng.SplitN("snap", trial), k, n, slack)
+		for _, budget := range []int64{0, 5000} {
+			sol := Solve(in, Options{NodeBudget: budget})
+			h := fnv.New64a()
+			for _, g := range sol.Assign {
+				fmt.Fprintf(h, "%d,", g)
+			}
+			out = append(out, []byte(fmt.Sprintf(
+				"trial=%d budget=%d feas=%v opt=%v cost=%x lb=%x nodes=%d inc=%d pb=%d ah=%x\n",
+				trial, budget, sol.Feasible, sol.Optimal,
+				fmt.Sprintf("%b", sol.Cost), fmt.Sprintf("%b", sol.LowerBound),
+				sol.Nodes, sol.Stats.IncumbentUpdates, sol.Stats.PrunedByBound, h.Sum64()))...)
+		}
+	}
+	if prev, err := os.ReadFile(path); err == nil {
+		if string(prev) != string(out) {
+			os.WriteFile(path+".new", out, 0o644)
+			t.Fatalf("trajectory diverged from %s (new written to %s.new)", path, path)
+		}
+		return
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -36,6 +36,13 @@ type EngineStats struct {
 	SeedWins int64
 	// Nodes sums branch-and-bound nodes across fresh solves.
 	Nodes int64
+	// PrunedBySymmetry sums branches skipped by the solver's twin
+	// symmetry rule across fresh solves. Nonzero only when coalition
+	// instances contain GSPs with identical cost and time rows.
+	PrunedBySymmetry int64
+	// PrunedByDominance sums branches skipped by the twin dominance rule
+	// across fresh solves (same identical-row precondition).
+	PrunedByDominance int64
 	// WallTime sums solver wall-clock time across fresh solves.
 	WallTime time.Duration
 	// PowerIterations sums power-method multiply steps performed by the
@@ -87,6 +94,8 @@ func (s EngineStats) Add(o EngineStats) EngineStats {
 		SeedAccepted:         s.SeedAccepted + o.SeedAccepted,
 		SeedWins:             s.SeedWins + o.SeedWins,
 		Nodes:                s.Nodes + o.Nodes,
+		PrunedBySymmetry:     s.PrunedBySymmetry + o.PrunedBySymmetry,
+		PrunedByDominance:    s.PrunedByDominance + o.PrunedByDominance,
 		WallTime:             s.WallTime + o.WallTime,
 		PowerIterations:      s.PowerIterations + o.PowerIterations,
 		PowerIterationsSaved: s.PowerIterationsSaved + o.PowerIterationsSaved,
@@ -104,6 +113,8 @@ func (s EngineStats) Sub(o EngineStats) EngineStats {
 		SeedAccepted:         s.SeedAccepted - o.SeedAccepted,
 		SeedWins:             s.SeedWins - o.SeedWins,
 		Nodes:                s.Nodes - o.Nodes,
+		PrunedBySymmetry:     s.PrunedBySymmetry - o.PrunedBySymmetry,
+		PrunedByDominance:    s.PrunedByDominance - o.PrunedByDominance,
 		WallTime:             s.WallTime - o.WallTime,
 		PowerIterations:      s.PowerIterations - o.PowerIterations,
 		PowerIterationsSaved: s.PowerIterationsSaved - o.PowerIterationsSaved,
@@ -115,6 +126,10 @@ func (s EngineStats) Sub(o EngineStats) EngineStats {
 func (s EngineStats) String() string {
 	out := fmt.Sprintf("%d solves (%d warm-started), %d cache hits (%.1f%% hit rate), %d nodes, %s solver time, %d power iterations (%d saved)",
 		s.Solves, s.WarmStarts, s.CacheHits, 100*s.HitRate(), s.Nodes, s.WallTime, s.PowerIterations, s.PowerIterationsSaved)
+	if s.PrunedBySymmetry > 0 || s.PrunedByDominance > 0 {
+		out += fmt.Sprintf(", %d twin prunes (%d symmetry, %d dominance)",
+			s.PrunedBySymmetry+s.PrunedByDominance, s.PrunedBySymmetry, s.PrunedByDominance)
+	}
 	if s.Degraded > 0 {
 		out += fmt.Sprintf(", %d degraded", s.Degraded)
 	}
@@ -315,6 +330,8 @@ func (e *Engine) SolveWithParent(ctx context.Context, members, parent []int) ass
 		e.stats.SeedWins += sol.Stats.SeedWins
 	}
 	e.stats.Nodes += sol.Stats.Nodes
+	e.stats.PrunedBySymmetry += sol.Stats.PrunedBySymmetry
+	e.stats.PrunedByDominance += sol.Stats.PrunedByDominance
 	e.stats.WallTime += sol.Stats.WallTime
 	if !sol.Optimal {
 		e.stats.Degraded++

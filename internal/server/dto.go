@@ -175,7 +175,11 @@ type EngineStatsJSON struct {
 	SeedWins      int64   `json:"seed_wins"`
 	WarmStartRate float64 `json:"warm_start_rate"`
 	Nodes         int64   `json:"nodes"`
-	SolverMS      float64 `json:"solver_ms"`
+	// PrunedBySymmetry / PrunedByDominance count branches the solver's
+	// identical-row twin rules skipped (zero on continuous cost data).
+	PrunedBySymmetry  int64   `json:"pruned_by_symmetry"`
+	PrunedByDominance int64   `json:"pruned_by_dominance"`
+	SolverMS          float64 `json:"solver_ms"`
 	// PowerIterations / PowerIterationsSaved report the mechanism loops'
 	// power-method work and the steps avoided by eigenvector warm starts.
 	PowerIterations      int64 `json:"power_iterations"`
@@ -195,6 +199,8 @@ func engineStatsJSON(s mechanism.EngineStats) EngineStatsJSON {
 		SeedWins:             s.SeedWins,
 		WarmStartRate:        s.WarmStartRate(),
 		Nodes:                s.Nodes,
+		PrunedBySymmetry:     s.PrunedBySymmetry,
+		PrunedByDominance:    s.PrunedByDominance,
 		SolverMS:             float64(s.WallTime) / float64(time.Millisecond),
 		PowerIterations:      s.PowerIterations,
 		PowerIterationsSaved: s.PowerIterationsSaved,

@@ -39,6 +39,8 @@ type Metrics struct {
 		seedAccepted    atomic.Int64
 		seedWins        atomic.Int64
 		nodes           atomic.Int64
+		twinSymmetry    atomic.Int64
+		twinDominance   atomic.Int64
 		solverNS        atomic.Int64
 		powerIters      atomic.Int64
 		powerItersSaved atomic.Int64
@@ -110,6 +112,8 @@ func (m *Metrics) addEngine(s mechanism.EngineStats) {
 	m.engine.seedAccepted.Add(s.SeedAccepted)
 	m.engine.seedWins.Add(s.SeedWins)
 	m.engine.nodes.Add(s.Nodes)
+	m.engine.twinSymmetry.Add(s.PrunedBySymmetry)
+	m.engine.twinDominance.Add(s.PrunedByDominance)
 	m.engine.solverNS.Add(int64(s.WallTime))
 	m.engine.powerIters.Add(s.PowerIterations)
 	m.engine.powerItersSaved.Add(s.PowerIterationsSaved)
@@ -125,6 +129,8 @@ func (m *Metrics) EngineTotals() mechanism.EngineStats {
 		SeedAccepted:         m.engine.seedAccepted.Load(),
 		SeedWins:             m.engine.seedWins.Load(),
 		Nodes:                m.engine.nodes.Load(),
+		PrunedBySymmetry:     m.engine.twinSymmetry.Load(),
+		PrunedByDominance:    m.engine.twinDominance.Load(),
 		WallTime:             time.Duration(m.engine.solverNS.Load()),
 		PowerIterations:      m.engine.powerIters.Load(),
 		PowerIterationsSaved: m.engine.powerItersSaved.Load(),
