@@ -14,6 +14,7 @@
 //	vosim -all -par 0            # parallel sweep on all cores
 //	vosim -ablation              # eviction-rule ablation (extension)
 //	vosim -evolution             # trust-evolution experiment (extension)
+//	vosim -adversary sybil,8     # robustness sweep under a sybil ring of 8
 package main
 
 import (
@@ -28,6 +29,7 @@ import (
 	"strings"
 	"syscall"
 
+	"gridvo/internal/adversary"
 	"gridvo/internal/fault"
 	"gridvo/internal/mechanism"
 	"gridvo/internal/sim"
@@ -83,6 +85,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		rounds  = fs.Int("rounds", 8, "trust-evolution rounds (with -evolution)")
 		timeout = fs.Duration("timeout", 0, "wall-clock budget for the sweep; on expiry solves degrade to heuristic incumbents (0 = none)")
 		chaos   = fs.String("chaos", "", `fault-injection chaos sweep: "seed,rate" (e.g. 7,0.3); runs the sweep twice, checks every mechanism invariant, and verifies bit-reproducibility`)
+		advSpec = fs.String("adversary", "", `robustness sweep: "class,param" with class collusion|sybil|whitewash|slander|churn and param the attacker count (slander/churn: the rate, e.g. slander,0.3). Compares adversarial VO formation against the honest baseline twice and verifies bit-reproducibility; combine with -chaos for fault injection on adversarial graphs`)
 		degree  = fs.Float64("trust-degree", 0, "mean out-degree for the sparse Erdős–Rényi trust generator (0 = paper's dense G(n,p) sampler)")
 		format  = fs.String("trust-format", "", "trust matrix representation: auto (default), dense, or csr")
 	)
@@ -140,21 +143,39 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cfg.Trace = tr
 	}
 
-	if *chaos != "" {
-		// Chaos mode defaults to the quick setup — the point is fault
-		// coverage and reproducibility, not paper-scale statistics. Any
-		// explicit -quick/-sizes/-reps selection wins.
+	if *chaos != "" || *advSpec != "" {
+		// Chaos and adversary modes default to the quick setup — the
+		// point is coverage and reproducibility, not paper-scale
+		// statistics. Any explicit -quick/-sizes/-reps selection wins.
 		if !*quick && *sizes == "" && *reps == 0 {
 			q := sim.QuickConfig(*seed)
 			q.Solver = cfg.Solver
 			q.Trace = cfg.Trace
+			q.TrustMeanDegree = cfg.TrustMeanDegree
+			q.TrustFormat = cfg.TrustFormat
 			cfg = q
 		}
 		var progress func(string)
 		if *verbose {
 			progress = func(s string) { fmt.Fprintln(stderr, s) }
 		}
-		return runChaos(ctx, cfg, *chaos, stdout, stderr, progress)
+		var ropts sim.RobustnessOptions
+		if *advSpec != "" {
+			var err error
+			ropts, err = parseAdversarySpec(*advSpec, cfg.NumGSPs)
+			if err != nil {
+				return err
+			}
+		}
+		if *chaos != "" {
+			// Composition: the chaos sweep's scenarios are generated
+			// through the adversary layer (empty ropts when -adversary is
+			// not given), then fault-injected as usual.
+			cfg.Adversary = ropts.Attack
+			cfg.Churn = ropts.Churn
+			return runChaos(ctx, cfg, *chaos, stdout, stderr, progress)
+		}
+		return runAdversary(ctx, cfg, ropts, stdout, *csv, progress)
 	}
 
 	if *table1 {
@@ -365,6 +386,80 @@ func runChaos(ctx context.Context, cfg sim.Config, spec string, stdout, stderr i
 			errChaos, first.Fingerprint, second.Fingerprint)
 	}
 	fmt.Fprintln(stdout, "invariants: all VOs feasible, v(C) >= 0, payoff shares sum to v(C)")
+	fmt.Fprintln(stdout, "reproducibility: two identically-seeded sweeps produced identical fingerprints")
+	return nil
+}
+
+// errAdversary marks a robustness sweep that failed its reproducibility
+// check (exit 1).
+var errAdversary = errors.New("adversary sweep failed")
+
+// parseAdversarySpec parses the -adversary argument "class,param". The
+// param is the attacker count for collusion/sybil/whitewash, the slander
+// rate (with an attacker count of numGSPs/8, at least 1), or the churn
+// leave rate (re-joins at half that rate).
+func parseAdversarySpec(spec string, numGSPs int) (sim.RobustnessOptions, error) {
+	var opts sim.RobustnessOptions
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		return opts, fmt.Errorf(`vosim: -adversary wants "class,param" (e.g. sybil,8 or slander,0.3 or churn,0.25), got %q`, spec)
+	}
+	class := strings.TrimSpace(parts[0])
+	param := strings.TrimSpace(parts[1])
+	switch class {
+	case "churn":
+		rate, err := strconv.ParseFloat(param, 64)
+		if err != nil || rate < 0 || rate > 1 {
+			return opts, fmt.Errorf("vosim: bad churn rate %q (want 0..1)", param)
+		}
+		opts.Churn = &adversary.ChurnSpec{LeaveRate: rate, JoinRate: rate / 2}
+	case adversary.ClassSlander:
+		rate, err := strconv.ParseFloat(param, 64)
+		if err != nil || rate < 0 || rate > 1 {
+			return opts, fmt.Errorf("vosim: bad slander rate %q (want 0..1)", param)
+		}
+		size := numGSPs / 8
+		if size < 1 {
+			size = 1
+		}
+		opts.Attack = &adversary.Spec{Class: class, Size: size, Rate: rate}
+	case adversary.ClassCollusion, adversary.ClassSybil, adversary.ClassWhitewash:
+		size, err := strconv.Atoi(param)
+		if err != nil || size < 0 {
+			return opts, fmt.Errorf("vosim: bad %s size %q", class, param)
+		}
+		opts.Attack = &adversary.Spec{Class: class, Size: size}
+	default:
+		return opts, fmt.Errorf("vosim: unknown adversary class %q (want collusion, sybil, whitewash, slander, or churn)", class)
+	}
+	return opts, nil
+}
+
+// runAdversary executes the robustness sweep twice with identical seeds:
+// the first pass measures honest-vs-adversarial degradation, the second
+// proves both worlds are bit-reproducible (identical fingerprints). A
+// fingerprint mismatch exits non-zero.
+func runAdversary(ctx context.Context, cfg sim.Config, opts sim.RobustnessOptions, stdout io.Writer, csv bool, progress func(string)) error {
+	first, err := sim.RobustnessSweep(ctx, cfg, opts, progress)
+	if err != nil {
+		return err
+	}
+	second, err := sim.RobustnessSweep(ctx, cfg, opts, progress)
+	if err != nil {
+		return err
+	}
+	if err := emit(stdout, sim.RobustnessTable(first), csv); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "robustness sweep %q: %d cells, mean Δv=%.2f, infiltration=%.3f, displacement=%.3f, %d re-formations (%d joins, %d leaves, %d warm-started solves)\n",
+		first.Class, len(first.Cells), first.MeanValueDelta, first.MeanInfiltration, first.MeanDisplacement,
+		first.Reformations, first.ChurnJoins, first.ChurnLeaves, first.WarmStarts)
+	if first.HonestFingerprint != second.HonestFingerprint ||
+		first.AdversarialFingerprint != second.AdversarialFingerprint {
+		return fmt.Errorf("%w: not reproducible, fingerprints %016x/%016x vs %016x/%016x",
+			errAdversary, first.HonestFingerprint, first.AdversarialFingerprint,
+			second.HonestFingerprint, second.AdversarialFingerprint)
+	}
 	fmt.Fprintln(stdout, "reproducibility: two identically-seeded sweeps produced identical fingerprints")
 	return nil
 }

@@ -1,0 +1,349 @@
+// Package adversary transforms honest trust graphs into adversarial ones.
+//
+// Every attack model is a deterministic, seedable rewrite of a trust.Graph:
+// the same Spec and the same xrand stream always produce the same graph,
+// bitwise, so robustness experiments are exactly reproducible and attack
+// strength can be swept with nested sampling (the attackers at strength k
+// are a prefix of the attackers at strength k' > k, drawn from the same
+// stream). All rewrites go through the graph's sparse adjacency mutators —
+// no dense materialization — so million-node adversarial graphs cost
+// O(n + nnz + attack size), the same as honest generation.
+//
+// Four classes from the grid-trust attack taxonomy are modeled:
+//
+//   - collusion: a clique of existing GSPs assign each other maximal
+//     mutual trust, inflating their joint reputation.
+//   - sybil: k fake GSPs are appended to the graph, each vouching for one
+//     existing ringleader (and for each other in a ring); nobody trusts
+//     the sybils back.
+//   - whitewash: the GSPs with the least incoming trust reset their
+//     identity — every rating about them is erased — and re-enter with a
+//     single fresh naive recommendation.
+//   - slander: honest GSPs' ratings are poisoned — each attacker rewrites
+//     its outgoing row, bad-mouthing every non-attacker with probability
+//     Rate at a near-zero unfair weight.
+//
+// The package also provides churn schedules (ChurnSpec) describing GSPs
+// joining and leaving between eviction-loop rounds, which the mechanism
+// layer applies to force online VO re-formation.
+package adversary
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gridvo/internal/trust"
+	"gridvo/internal/xrand"
+)
+
+// Attack class names accepted in Spec.Class and the scenario wire format.
+const (
+	ClassCollusion = "collusion"
+	ClassSybil     = "sybil"
+	ClassWhitewash = "whitewash"
+	ClassSlander   = "slander"
+)
+
+// Classes lists all attack classes in canonical order (flags, docs, CI).
+var Classes = []string{ClassCollusion, ClassSybil, ClassWhitewash, ClassSlander}
+
+// Spec describes one attack instance. The zero Size is the universal "no
+// attack" value: Apply is then a strict no-op that draws no randomness, so a
+// zero-attacker adversarial scenario is bitwise identical to the honest one.
+type Spec struct {
+	// Class is one of collusion, sybil, whitewash, or slander.
+	Class string `json:"class"`
+	// Size is the attack strength in GSPs: clique size (collusion), ring
+	// size (sybil), or attacker count (whitewash, slander). Zero disables
+	// the attack entirely.
+	Size int `json:"size,omitempty"`
+	// Rate is the per-victim slander probability ρ in [0,1]; ignored by
+	// the other classes.
+	Rate float64 `json:"rate,omitempty"`
+	// Weight is the trust weight the attack writes. Zero selects the
+	// per-class default: 1 for collusion and sybil (maximal fake trust),
+	// 0.5 for the whitewashers' fresh re-entry edge, and 0.05 for slander
+	// (a near-zero unfair rating).
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// defaultWeight returns the per-class weight used when Spec.Weight is zero.
+func defaultWeight(class string) float64 {
+	switch class {
+	case ClassWhitewash:
+		return 0.5
+	case ClassSlander:
+		return 0.05
+	default: // collusion, sybil
+		return 1
+	}
+}
+
+// IsZero reports whether the spec describes no attack at all.
+func (sp *Spec) IsZero() bool { return sp == nil || sp.Size == 0 }
+
+// Validate checks the spec independent of any graph. API layers call it on
+// decoded wire specs; Apply repeats it via ValidateFor.
+func (sp *Spec) Validate() error {
+	switch sp.Class {
+	case ClassCollusion, ClassSybil, ClassWhitewash, ClassSlander:
+	default:
+		return fmt.Errorf("adversary: unknown class %q (want collusion, sybil, whitewash, or slander)", sp.Class)
+	}
+	if sp.Size < 0 {
+		return fmt.Errorf("adversary: negative attack size %d", sp.Size)
+	}
+	if sp.Rate < 0 || sp.Rate > 1 || math.IsNaN(sp.Rate) {
+		return fmt.Errorf("adversary: slander rate %v outside [0,1]", sp.Rate)
+	}
+	if sp.Weight < 0 || math.IsNaN(sp.Weight) || math.IsInf(sp.Weight, 0) {
+		return fmt.Errorf("adversary: invalid trust weight %v", sp.Weight)
+	}
+	return nil
+}
+
+// ValidateFor checks the spec against a graph of n honest GSPs.
+func (sp *Spec) ValidateFor(n int) error {
+	if err := sp.Validate(); err != nil {
+		return err
+	}
+	if sp.Size == 0 {
+		return nil
+	}
+	switch sp.Class {
+	case ClassCollusion:
+		if sp.Size < 2 {
+			return fmt.Errorf("adversary: collusion clique needs at least 2 members, got %d", sp.Size)
+		}
+		if sp.Size > n {
+			return fmt.Errorf("adversary: collusion clique size %d exceeds %d GSPs", sp.Size, n)
+		}
+	case ClassSybil:
+		if n < 1 {
+			return fmt.Errorf("adversary: sybil ring needs at least one honest GSP to boost")
+		}
+	case ClassWhitewash:
+		if sp.Size > n {
+			return fmt.Errorf("adversary: whitewash attacker count %d exceeds %d GSPs", sp.Size, n)
+		}
+		if n < 2 {
+			return fmt.Errorf("adversary: whitewash re-entry needs at least 2 GSPs")
+		}
+	case ClassSlander:
+		if sp.Size > n {
+			return fmt.Errorf("adversary: slander attacker count %d exceeds %d GSPs", sp.Size, n)
+		}
+	}
+	return nil
+}
+
+// Report summarizes what an Apply call did to the graph.
+type Report struct {
+	// Class echoes the spec.
+	Class string `json:"class"`
+	// Attackers are the global indices of the attacking (or, for
+	// whitewash, identity-resetting) GSPs, ascending. For sybil it is the
+	// ringleader followed by the appended fake nodes.
+	Attackers []int `json:"attackers,omitempty"`
+	// Ringleader is the boosted GSP of a sybil attack, -1 otherwise.
+	Ringleader int `json:"ringleader"`
+	// ExtraGSPs is the number of fake nodes appended (sybil only).
+	ExtraGSPs int `json:"extra_gsps,omitempty"`
+	// Edge rewrite accounting.
+	EdgesAdded     int `json:"edges_added,omitempty"`
+	EdgesRewritten int `json:"edges_rewritten,omitempty"`
+	EdgesRemoved   int `json:"edges_removed,omitempty"`
+}
+
+// pickPrefix selects k distinct nodes as the sorted prefix of one shared
+// permutation: the selection at k is always a subset of the selection at
+// k' > k from the same stream, which is what makes attack-strength sweeps
+// nested (monotone-degradation tests rely on it).
+func pickPrefix(rng *xrand.RNG, n, k int) []int {
+	sel := append([]int(nil), rng.Perm(n)[:k]...)
+	sort.Ints(sel)
+	return sel
+}
+
+// Apply rewrites g in place per the spec, drawing all randomness from rng.
+// A nil or zero-Size spec returns immediately without touching g or rng.
+// For sybil attacks g grows by Size nodes; callers extending scenario
+// matrices should consult Report.ExtraGSPs and Report.Ringleader.
+func (sp *Spec) Apply(rng *xrand.RNG, g *trust.Graph) (*Report, error) {
+	if sp.IsZero() {
+		class := ""
+		if sp != nil {
+			class = sp.Class
+		}
+		return &Report{Class: class, Ringleader: -1}, nil
+	}
+	if err := sp.ValidateFor(g.N()); err != nil {
+		return nil, err
+	}
+	rep := &Report{Class: sp.Class, Ringleader: -1}
+	w := sp.Weight
+	if w == 0 {
+		w = defaultWeight(sp.Class)
+	}
+	switch sp.Class {
+	case ClassCollusion:
+		sp.applyCollusion(rng, g, w, rep)
+	case ClassSybil:
+		sp.applySybil(rng, g, w, rep)
+	case ClassWhitewash:
+		sp.applyWhitewash(rng, g, w, rep)
+	case ClassSlander:
+		sp.applySlander(rng, g, w, rep)
+	}
+	return rep, nil
+}
+
+// applyCollusion sets every ordered pair inside the clique to weight w:
+// colluders rate each other maximally, inflating the clique's share of the
+// reputation eigenvector.
+func (sp *Spec) applyCollusion(rng *xrand.RNG, g *trust.Graph, w float64, rep *Report) {
+	rep.Attackers = pickPrefix(rng.Split("pick"), g.N(), sp.Size)
+	for _, i := range rep.Attackers {
+		for _, j := range rep.Attackers {
+			if i == j {
+				continue
+			}
+			if g.Trust(i, j) > 0 {
+				rep.EdgesRewritten++
+			} else {
+				rep.EdgesAdded++
+			}
+			g.SetTrust(i, j, w)
+		}
+	}
+}
+
+// applySybil appends Size fake nodes, each vouching for one existing
+// ringleader at weight w and for the next sybil in a ring. No honest node
+// — and not even the ringleader — trusts a sybil back, which is the
+// defining asymmetry of the attack: fake identities are cheap to mint but
+// earn no organic incoming trust.
+func (sp *Spec) applySybil(rng *xrand.RNG, g *trust.Graph, w float64, rep *Report) {
+	n, k := g.N(), sp.Size
+	rep.Ringleader = rng.Split("lead").IntN(n)
+	rep.ExtraGSPs = k
+	g.Grow(n + k)
+	rep.Attackers = append(rep.Attackers, rep.Ringleader)
+	for i := 0; i < k; i++ {
+		s := n + i
+		rep.Attackers = append(rep.Attackers, s)
+		g.SetTrust(s, rep.Ringleader, w)
+		rep.EdgesAdded++
+		if k > 1 {
+			g.SetTrust(s, n+(i+1)%k, w)
+			rep.EdgesAdded++
+		}
+	}
+}
+
+// applyWhitewash resets the identity of the Size GSPs with the least total
+// incoming trust: every rating about them is erased (the community forgets
+// them) and each re-enters with a single fresh recommendation of weight w
+// from a random donor — the naive benefit-of-the-doubt a newcomer gets.
+// Outgoing ratings persist; whitewashing launders reputation, not opinions.
+func (sp *Spec) applyWhitewash(rng *xrand.RNG, g *trust.Graph, w float64, rep *Report) {
+	n := g.N()
+	inW := make([]float64, n)
+	rev := make([][]int, n) // rev[t] = sources with an edge into t
+	for i := 0; i < n; i++ {
+		g.VisitNeighbors(i, func(j int, u float64) {
+			inW[j] += u
+			rev[j] = append(rev[j], i)
+		})
+	}
+	// Stable sort on incoming weight alone: ties keep ascending index
+	// order, so the target list is deterministic without float equality.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return inW[order[a]] < inW[order[b]] })
+	targets := order[:sp.Size]
+	rep.Attackers = append([]int(nil), targets...)
+	sort.Ints(rep.Attackers)
+	rr := rng.Split("reenter")
+	// Iterate in selection order (not index order) so the donor draws for
+	// the first k targets are identical at every attack size ≥ k.
+	for _, t := range targets {
+		for _, s := range rev[t] {
+			g.SetTrust(s, t, 0)
+			rep.EdgesRemoved++
+		}
+		d := rr.IntN(n - 1)
+		if d >= t {
+			d++
+		}
+		g.SetTrust(d, t, w)
+		rep.EdgesAdded++
+	}
+}
+
+// applySlander rewrites each attacker's outgoing row: every non-attacker
+// is bad-mouthed independently with probability Rate, its rating forced to
+// the unfair weight w. One coin is drawn per (attacker, victim) pair
+// regardless of outcome, so the slandered set at rate ρ is a subset of the
+// set at ρ' > ρ from the same stream. Rows are rebuilt in ascending target
+// order through the graph's append fast path, keeping the rewrite
+// O(n + row) per attacker.
+func (sp *Spec) applySlander(rng *xrand.RNG, g *trust.Graph, w float64, rep *Report) {
+	n := g.N()
+	rep.Attackers = pickPrefix(rng.Split("pick"), n, sp.Size)
+	isAttacker := make([]bool, n)
+	for _, a := range rep.Attackers {
+		isAttacker[a] = true
+	}
+	slandered := make([]bool, n)
+	oldTo := make([]int, 0, n)
+	oldW := make([]float64, 0, n)
+	for _, a := range rep.Attackers {
+		// Per-attacker stream keyed by identity: the draws for attacker a
+		// never depend on which other attackers exist, so attacker sets
+		// nest across Size as well.
+		sa := rng.SplitN("slander", a)
+		any := false
+		for j := 0; j < n; j++ {
+			slandered[j] = false
+			if j == a {
+				continue
+			}
+			if sa.Float64() < sp.Rate && !isAttacker[j] {
+				slandered[j] = true
+				any = true
+			}
+		}
+		if !any {
+			continue
+		}
+		oldTo, oldW = oldTo[:0], oldW[:0]
+		g.VisitNeighbors(a, func(j int, u float64) {
+			oldTo = append(oldTo, j)
+			oldW = append(oldW, u)
+		})
+		g.ClearOutgoing(a)
+		oi := 0
+		for j := 0; j < n; j++ {
+			u := 0.0
+			if oi < len(oldTo) && oldTo[oi] == j {
+				u = oldW[oi]
+				oi++
+			}
+			if slandered[j] {
+				if u > 0 {
+					rep.EdgesRewritten++
+				} else {
+					rep.EdgesAdded++
+				}
+				u = w
+			}
+			if u > 0 {
+				g.SetTrust(a, j, u)
+			}
+		}
+	}
+}

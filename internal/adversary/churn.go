@@ -1,0 +1,95 @@
+package adversary
+
+import (
+	"fmt"
+	"math"
+
+	"gridvo/internal/xrand"
+)
+
+// ChurnEvent is one batch of membership changes applied after eviction
+// round Round (0-based iteration index of the mechanism loop) completes:
+// the listed GSPs leave the forming VO and the listed GSPs (re-)join it.
+// Indices are global scenario indices; the mechanism ignores leaves of
+// absent members and joins of present ones.
+type ChurnEvent struct {
+	Round int   `json:"round"`
+	Leave []int `json:"leave,omitempty"`
+	Join  []int `json:"join,omitempty"`
+}
+
+// ChurnSpec generates a deterministic churn schedule: at each round every
+// present GSP leaves with probability LeaveRate and every departed GSP
+// re-joins with probability JoinRate.
+type ChurnSpec struct {
+	// LeaveRate is the per-round departure probability of a present GSP.
+	LeaveRate float64 `json:"leave_rate"`
+	// JoinRate is the per-round re-entry probability of a departed GSP.
+	JoinRate float64 `json:"join_rate"`
+	// Rounds bounds the schedule; zero means one opportunity per GSP (the
+	// eviction loop runs at most that many rounds anyway).
+	Rounds int `json:"rounds,omitempty"`
+}
+
+// Validate checks the rates and round count.
+func (cs *ChurnSpec) Validate() error {
+	if cs.LeaveRate < 0 || cs.LeaveRate > 1 || math.IsNaN(cs.LeaveRate) {
+		return fmt.Errorf("adversary: churn leave rate %v outside [0,1]", cs.LeaveRate)
+	}
+	if cs.JoinRate < 0 || cs.JoinRate > 1 || math.IsNaN(cs.JoinRate) {
+		return fmt.Errorf("adversary: churn join rate %v outside [0,1]", cs.JoinRate)
+	}
+	if cs.Rounds < 0 {
+		return fmt.Errorf("adversary: negative churn rounds %d", cs.Rounds)
+	}
+	return nil
+}
+
+// IsZero reports whether the spec generates no churn at all.
+func (cs *ChurnSpec) IsZero() bool {
+	return cs == nil || (cs.LeaveRate == 0 && cs.JoinRate == 0)
+}
+
+// Schedule draws a churn schedule over m GSPs from rng. The schedule is a
+// pure function of (spec, m, stream): departures and re-entries are walked
+// in ascending GSP order each round, and at least two GSPs always remain
+// present so the schedule alone can never empty a forming VO. Rounds with
+// no changes are omitted.
+func (cs *ChurnSpec) Schedule(rng *xrand.RNG, m int) ([]ChurnEvent, error) {
+	if err := cs.Validate(); err != nil {
+		return nil, err
+	}
+	if cs.IsZero() || m == 0 {
+		return nil, nil
+	}
+	rounds := cs.Rounds
+	if rounds == 0 {
+		rounds = m
+	}
+	present := make([]bool, m)
+	for i := range present {
+		present[i] = true
+	}
+	nPresent := m
+	var events []ChurnEvent
+	for r := 0; r < rounds; r++ {
+		ev := ChurnEvent{Round: r}
+		for gi := 0; gi < m; gi++ {
+			if present[gi] {
+				if nPresent > 2 && rng.Bool(cs.LeaveRate) {
+					ev.Leave = append(ev.Leave, gi)
+					present[gi] = false
+					nPresent--
+				}
+			} else if rng.Bool(cs.JoinRate) {
+				ev.Join = append(ev.Join, gi)
+				present[gi] = true
+				nPresent++
+			}
+		}
+		if len(ev.Leave) > 0 || len(ev.Join) > 0 {
+			events = append(events, ev)
+		}
+	}
+	return events, nil
+}

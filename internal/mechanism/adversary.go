@@ -1,0 +1,61 @@
+package mechanism
+
+import (
+	"fmt"
+
+	"gridvo/internal/adversary"
+	"gridvo/internal/grid"
+	"gridvo/internal/xrand"
+)
+
+// ApplyAdversary returns the adversarial version of a scenario: the trust
+// graph rewritten per the attack spec, and — for sybil attacks, which grow
+// the graph — the GSP list and cost/time matrices extended to match. Each
+// fake GSP clones the ringleader's speed and cost row bitwise, the cheapest
+// consistent capability profile for an identity that exists only on paper;
+// a side effect is that sybil scenarios contain twin capability rows by
+// construction, which the solver's symmetry pruning detects.
+//
+// A nil or zero-Size spec returns sc itself, untouched and drawing no
+// randomness, so the zero-attack adversarial pipeline is bitwise identical
+// to the honest one. Otherwise sc is never mutated; the returned scenario
+// shares the program and (for non-sybil classes) the matrices.
+func ApplyAdversary(sc *Scenario, sp *adversary.Spec, rng *xrand.RNG) (*Scenario, *adversary.Report, error) {
+	if sp.IsZero() {
+		class := ""
+		if sp != nil {
+			class = sp.Class
+		}
+		return sc, &adversary.Report{Class: class, Ringleader: -1}, nil
+	}
+	if err := sp.ValidateFor(sc.M()); err != nil {
+		return nil, nil, err
+	}
+	tg := sc.Trust.Clone()
+	rep, err := sp.Apply(rng, tg)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := *sc
+	out.Trust = tg
+	if rep.ExtraGSPs > 0 {
+		gsps := append([]grid.GSP(nil), sc.GSPs...)
+		cost := append([][]float64(nil), sc.Cost...)
+		lead := sc.GSPs[rep.Ringleader]
+		for i := 0; i < rep.ExtraGSPs; i++ {
+			gsps = append(gsps, grid.GSP{
+				ID:          len(gsps),
+				Name:        fmt.Sprintf("sybil%d", i),
+				SpeedGFLOPS: lead.SpeedGFLOPS,
+			})
+			cost = append(cost, append([]float64(nil), sc.Cost[rep.Ringleader]...))
+		}
+		out.GSPs = gsps
+		out.Cost = cost
+		out.Time = grid.TimeMatrix(gsps, sc.Program)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("mechanism: adversarial scenario invalid: %w", err)
+	}
+	return &out, rep, nil
+}

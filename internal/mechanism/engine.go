@@ -61,6 +61,14 @@ type EngineStats struct {
 	// guard rejected with an explicit infeasible solution instead of a
 	// solve.
 	Degraded int64
+	// Reformations counts eviction-loop rounds whose membership was
+	// changed by churn (joins or leaves between iterations), forcing an
+	// online re-formation of the VO in flight.
+	Reformations int64
+	// ChurnJoins / ChurnLeaves count the individual membership changes
+	// behind those re-formations.
+	ChurnJoins  int64
+	ChurnLeaves int64
 }
 
 // Evaluations returns the total coalition evaluations the engine served
@@ -100,6 +108,9 @@ func (s EngineStats) Add(o EngineStats) EngineStats {
 		PowerIterations:      s.PowerIterations + o.PowerIterations,
 		PowerIterationsSaved: s.PowerIterationsSaved + o.PowerIterationsSaved,
 		Degraded:             s.Degraded + o.Degraded,
+		Reformations:         s.Reformations + o.Reformations,
+		ChurnJoins:           s.ChurnJoins + o.ChurnJoins,
+		ChurnLeaves:          s.ChurnLeaves + o.ChurnLeaves,
 	}
 }
 
@@ -119,6 +130,9 @@ func (s EngineStats) Sub(o EngineStats) EngineStats {
 		PowerIterations:      s.PowerIterations - o.PowerIterations,
 		PowerIterationsSaved: s.PowerIterationsSaved - o.PowerIterationsSaved,
 		Degraded:             s.Degraded - o.Degraded,
+		Reformations:         s.Reformations - o.Reformations,
+		ChurnJoins:           s.ChurnJoins - o.ChurnJoins,
+		ChurnLeaves:          s.ChurnLeaves - o.ChurnLeaves,
 	}
 }
 
@@ -132,6 +146,10 @@ func (s EngineStats) String() string {
 	}
 	if s.Degraded > 0 {
 		out += fmt.Sprintf(", %d degraded", s.Degraded)
+	}
+	if s.Reformations > 0 {
+		out += fmt.Sprintf(", %d re-formations (%d joins, %d leaves)",
+			s.Reformations, s.ChurnJoins, s.ChurnLeaves)
 	}
 	return out
 }
@@ -364,6 +382,17 @@ func poisonCost(in *assign.Instance, pick uint64) *assign.Instance {
 	}
 	out.Cost[int(pick%uint64(k))][int((pick>>32)%uint64(n))] = math.NaN()
 	return out
+}
+
+// noteChurn folds one churned round's membership changes into the engine
+// stats: the round counts as a re-formation, attributed like notePower to
+// the run that observed it.
+func (e *Engine) noteChurn(joins, leaves int) {
+	e.mu.Lock()
+	e.stats.Reformations++
+	e.stats.ChurnJoins += int64(joins)
+	e.stats.ChurnLeaves += int64(leaves)
+	e.mu.Unlock()
 }
 
 // notePower folds one reputation solve's power-method activity into the

@@ -3,8 +3,10 @@ package mechanism
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
+	"gridvo/internal/adversary"
 	"gridvo/internal/assign"
 	"gridvo/internal/coalition"
 	"gridvo/internal/fault"
@@ -76,6 +78,17 @@ type Options struct {
 	// they select the same VOs — so this exists for A/B measurement and
 	// paper-faithful cold reproduction, not correctness.
 	NoWarmStart bool
+	// Churn, when non-empty, injects membership changes between eviction
+	// rounds: after iteration r completes, every ChurnEvent with Round r
+	// fires — listed members leave the forming VO and listed GSPs
+	// (re-)join it — forcing an online re-formation. The next iteration
+	// reuses the warm-start pipeline across the change: the pre-churn
+	// coalition stays the IP seed parent (departures project to orphan
+	// markers the solver repairs) and survivor reputation scores seed the
+	// power iteration. Leaves of absent GSPs and joins of present ones
+	// are ignored; a leave never empties the VO. Schedules typically come
+	// from adversary.ChurnSpec.Schedule.
+	Churn []adversary.ChurnEvent
 	// Inject, when non-nil, threads the deterministic fault injector
 	// through every layer of the run: it is installed on the engine
 	// (fresh or passed), forwarded to the IP solver and the per-coalition
@@ -408,6 +421,69 @@ func RunContext(ctx context.Context, sc *Scenario, opts Options, rng *xrand.RNG)
 			for i, x := range scores {
 				if i != evictLocal {
 					repInit = append(repInit, x)
+				}
+			}
+		}
+
+		// Churn: membership changes scheduled for this round fire now,
+		// re-forming the VO online before the next iteration.
+		if len(opts.Churn) > 0 {
+			joins, leaves := 0, 0
+			round := len(res.Iterations) - 1
+			for _, ev := range opts.Churn {
+				if ev.Round != round {
+					continue
+				}
+				for _, g := range ev.Leave {
+					if len(members) <= 1 {
+						break
+					}
+					if k := sort.SearchInts(members, g); k < len(members) && members[k] == g {
+						members = append(members[:k], members[k+1:]...)
+						leaves++
+					}
+				}
+				for _, g := range ev.Join {
+					if g < 0 || g >= sc.M() {
+						continue
+					}
+					if k := sort.SearchInts(members, g); k == len(members) || members[k] != g {
+						members = append(members, 0)
+						copy(members[k+1:], members[k:])
+						members[k] = g
+						joins++
+					}
+				}
+			}
+			if joins > 0 || leaves > 0 {
+				eng.noteChurn(joins, leaves)
+				// Re-induce the VO trust graph from the full scenario
+				// graph. Subgraph composes (a Subgraph of a Subgraph is
+				// the Subgraph of the intersection), so for pure
+				// departures this equals continuing the eviction chain,
+				// and re-joiners get exactly the edges among current
+				// members back — the model's "all edges touching a
+				// departed GSP are forgotten" applies only while absent.
+				curTrust = sc.Trust.Subgraph(members)
+				if warm {
+					// Rebuild the eigenvector seed parallel to the new
+					// membership: survivors keep their scores, joiners
+					// start at the uniform mass the cold start would give
+					// them. parentMembers stays the pre-eviction coalition;
+					// the IP seed projection handles the departures.
+					scoreOf := make(map[int]float64, len(rec.Members))
+					for i, g := range rec.Members {
+						scoreOf[g] = scores[i]
+					}
+					repInit = repInit[:0]
+					fill := 1 / float64(len(members))
+					for _, g := range members {
+						if x, ok := scoreOf[g]; ok {
+							repInit = append(repInit, x)
+						} else {
+							repInit = append(repInit, fill)
+						}
+					}
 				}
 			}
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"gridvo/internal/adversary"
 	"gridvo/internal/grid"
 	"gridvo/internal/trust"
 	"gridvo/internal/workload"
@@ -113,6 +114,11 @@ type ScenarioSpec struct {
 	Trust    *trust.Graph  `json:"trust,omitempty"`
 	TrustGen *TrustGenSpec `json:"trust_gen,omitempty"`
 	Cost     [][]float64   `json:"cost,omitempty"`
+	// Adversary, when set, rewrites the built scenario's trust graph per
+	// the attack spec (and, for sybil, appends the fake GSPs), drawing
+	// from the build seed's "adversary" stream. A zero-Size spec is a
+	// bitwise no-op. See internal/adversary.
+	Adversary *adversary.Spec `json:"adversary,omitempty"`
 }
 
 // Validate checks the spec's internal consistency without building the
@@ -171,6 +177,11 @@ func (sp *ScenarioSpec) Validate() error {
 	if !(sp.Payment > 0) || math.IsInf(sp.Payment, 0) {
 		return fmt.Errorf("mechanism: invalid payment %v", sp.Payment)
 	}
+	if sp.Adversary != nil {
+		if err := sp.Adversary.ValidateFor(m); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -213,7 +224,14 @@ func (sp *ScenarioSpec) Build(seed uint64) (*Scenario, error) {
 		Payment:  sp.Payment,
 		Trust:    tg,
 	}
-	return sc, sc.Validate()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if sp.Adversary != nil {
+		sc, _, err := ApplyAdversary(sc, sp.Adversary, xrand.New(seed).Split("adversary"))
+		return sc, err
+	}
+	return sc, nil
 }
 
 // SampleSpec returns a small 4-GSP, 12-task spec generated from the seed —

@@ -187,6 +187,11 @@ type EngineStatsJSON struct {
 	// DegradedSolves counts evaluations served below the exact tier of
 	// the degradation ladder (truncated searches, rejected inputs).
 	DegradedSolves int64 `json:"degraded_solves"`
+	// Reformations counts eviction rounds whose membership was changed by
+	// churn, with the individual joins and leaves behind them.
+	Reformations int64 `json:"reformations,omitempty"`
+	ChurnJoins   int64 `json:"churn_joins,omitempty"`
+	ChurnLeaves  int64 `json:"churn_leaves,omitempty"`
 }
 
 func engineStatsJSON(s mechanism.EngineStats) EngineStatsJSON {
@@ -205,6 +210,9 @@ func engineStatsJSON(s mechanism.EngineStats) EngineStatsJSON {
 		PowerIterations:      s.PowerIterations,
 		PowerIterationsSaved: s.PowerIterationsSaved,
 		DegradedSolves:       s.Degraded,
+		Reformations:         s.Reformations,
+		ChurnJoins:           s.ChurnJoins,
+		ChurnLeaves:          s.ChurnLeaves,
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"gridvo/internal/adversary"
 	"gridvo/internal/assign"
 	"gridvo/internal/mechanism"
 	"gridvo/internal/trust"
@@ -241,6 +242,60 @@ func TestFormValidation(t *testing.T) {
 	empty := FormRequest{}
 	if code, data := postJSON(t, ts.URL+"/v1/vo/form", empty); code != http.StatusBadRequest {
 		t.Fatalf("empty scenario: want 400, got %d: %s", code, data)
+	}
+}
+
+// TestFormAdversaryValidation pins the wire contract for the scenario
+// spec's adversary block: malformed blocks are 400s carrying the precise
+// validation message, and a well-formed block runs to a 200.
+func TestFormAdversaryValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name    string
+		spec    *adversary.Spec
+		wantMsg string
+	}{
+		{"unknown class", &adversary.Spec{Class: "eclipse", Size: 2},
+			`unknown class "eclipse" (want collusion, sybil, whitewash, or slander)`},
+		{"negative rate", &adversary.Spec{Class: adversary.ClassSlander, Size: 2, Rate: -0.5}, "rate"},
+		{"clique exceeds n", &adversary.Spec{Class: adversary.ClassCollusion, Size: 5},
+			"collusion clique size 5 exceeds 4 GSPs"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := mechanism.SampleSpec(1)
+			spec.Adversary = tc.spec
+			code, data := postJSON(t, ts.URL+"/v1/vo/form", FormRequest{Scenario: *spec, Seed: 1})
+			if code != http.StatusBadRequest {
+				t.Fatalf("want 400, got %d: %s", code, data)
+			}
+			var er ErrorResponse
+			if err := json.Unmarshal(data, &er); err != nil {
+				t.Fatalf("error body not JSON: %v: %s", err, data)
+			}
+			if !strings.Contains(er.Error, tc.wantMsg) {
+				t.Fatalf("error %q does not mention %q", er.Error, tc.wantMsg)
+			}
+		})
+	}
+
+	spec := mechanism.SampleSpec(1)
+	spec.Adversary = &adversary.Spec{Class: adversary.ClassSybil, Size: 2}
+	code, data := postJSON(t, ts.URL+"/v1/vo/form", FormRequest{Scenario: *spec, Seed: 1})
+	if code != http.StatusOK {
+		t.Fatalf("valid sybil block: want 200, got %d: %s", code, data)
+	}
+	var resp FormResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Feasible {
+		t.Fatalf("adversarial form found no feasible VO: %s", data)
+	}
+	// The sybil ring grew the grid from 4 to 6 GSPs, so the grand
+	// coalition's reputation vector must cover the fakes too.
+	if len(resp.GlobalReputation) != 6 {
+		t.Fatalf("reputation vector has %d entries, want 6 (4 honest + 2 sybils)", len(resp.GlobalReputation))
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"gridvo/internal/adversary"
 	"gridvo/internal/assign"
 	"gridvo/internal/grid"
 	"gridvo/internal/mechanism"
@@ -55,6 +56,17 @@ type Config struct {
 	// Mechanism carries the remaining mechanism options (eviction rule
 	// is set per run by the harness).
 	Mechanism mechanism.Options
+	// Adversary, when non-zero, rewrites every generated scenario with the
+	// attack model after feasibility is established (attacks only ever add
+	// capacity — sybil twins — or rewrite trust, so the grand coalition
+	// stays feasible). A nil or zero-Size spec leaves generation bitwise
+	// identical to the honest path. Composes with fault injection: the
+	// chaos sweep then runs on adversarial graphs.
+	Adversary *adversary.Spec
+	// Churn, when non-zero, draws one churn schedule per scenario cell
+	// and applies it to both mechanism runs: GSPs leave and re-join the
+	// forming VO between eviction rounds.
+	Churn *adversary.ChurnSpec
 }
 
 // DefaultConfig returns the Table I setup.
@@ -172,7 +184,7 @@ func (e *Env) BuildScenario(size, rep int) (*mechanism.Scenario, ScenarioMeta, e
 		sol := assign.Solve(sc.Instance(grand), cfg.Solver)
 		if sol.Feasible {
 			meta.FeasibilityRetries = attempt
-			return sc, meta, nil
+			return e.finishScenario(sc, meta, rng)
 		}
 	}
 	// The Table I band admits no feasible mapping (possible for program
@@ -186,11 +198,29 @@ func (e *Env) BuildScenario(size, rep int) (*mechanism.Scenario, ScenarioMeta, e
 		if sol.Feasible {
 			meta.FeasibilityRetries = retries
 			meta.DeadlineEscalations = esc
-			return sc, meta, nil
+			return e.finishScenario(sc, meta, rng)
 		}
 	}
 	return nil, meta, fmt.Errorf("sim: no feasible deadline/payment for n=%d rep=%d after %d retries and escalation",
 		size, rep, retries)
+}
+
+// finishScenario applies the configured adversary to a freshly generated
+// scenario. The attack runs AFTER feasibility resampling, on the scenario
+// stream's "adversary" child — which, because Split consumes no parent
+// randomness, is the same stream however many deadline/payment attempts
+// the honest generation needed. A zero spec returns the honest scenario
+// untouched, drawing nothing, so honest and zero-attack generation are
+// bitwise identical.
+func (e *Env) finishScenario(sc *mechanism.Scenario, meta ScenarioMeta, rng *xrand.RNG) (*mechanism.Scenario, ScenarioMeta, error) {
+	if e.Config.Adversary.IsZero() {
+		return sc, meta, nil
+	}
+	adv, _, err := mechanism.ApplyAdversary(sc, e.Config.Adversary, rng.Split("adversary"))
+	if err != nil {
+		return nil, meta, err
+	}
+	return adv, meta, nil
 }
 
 // RunPair executes TVOF and RVOF on the same scenario with split RNG
@@ -215,6 +245,16 @@ func (e *Env) RunPairContext(ctx context.Context, sc *mechanism.Scenario, size, 
 	optsR.Eviction = mechanism.EvictRandom
 	optsR.Solver = cfg.Solver
 	optsR.Engine = eng
+	if !cfg.Churn.IsZero() {
+		// One schedule per scenario cell, shared by both rules so they
+		// face the same membership dynamics.
+		events, err := cfg.Churn.Schedule(e.rng.Split(fmt.Sprintf("churn-%d-%d", size, rep)), sc.M())
+		if err != nil {
+			return nil, nil, err
+		}
+		optsT.Churn = events
+		optsR.Churn = events
+	}
 	key := fmt.Sprintf("run-%d-%d", size, rep)
 	tvof, err = mechanism.RunContext(ctx, sc, optsT, e.rng.Split(key+"-tvof"))
 	if err != nil {

@@ -1,0 +1,232 @@
+package trust_test
+
+// Property tests for Store delta batches under adversarial churn: attack
+// batches that are later reverted must leave no trace in the reputation
+// pipeline, and growth followed by shrink (weight-0 disconnection) must
+// never leave stale eigenvector entries behind. The tests live in an
+// external package so they can drive the Store with the real reputation
+// solver (reputation imports trust, not the other way around).
+
+import (
+	"math"
+	"testing"
+
+	"gridvo/internal/reputation"
+	"gridvo/internal/trust"
+	"gridvo/internal/xrand"
+)
+
+// globalSolve adapts reputation.Global to the Store callback.
+func globalSolve(g *trust.Graph, warm []float64) (trust.SolveResult, error) {
+	opts := reputation.DefaultOptions()
+	opts.InitialVector = warm
+	scores, diag, err := reputation.Global(g, opts)
+	return trust.SolveResult{
+		Scores:     scores,
+		Iterations: diag.Iterations,
+		Converged:  diag.Converged,
+		Warm:       diag.Warm,
+	}, err
+}
+
+// randomBatch draws k positive-weight edge ops on [0,n).
+func randomBatch(rng *xrand.RNG, n, k int) []trust.DeltaOp {
+	ops := make([]trust.DeltaOp, 0, k)
+	for len(ops) < k {
+		i, j := rng.IntN(n), rng.IntN(n)
+		if i == j {
+			continue
+		}
+		ops = append(ops, trust.DeltaOp{From: i, To: j, Weight: 0.1 + rng.Float64()})
+	}
+	return ops
+}
+
+// sameBits reports bitwise equality of two vectors.
+func sameBits(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestStoreAdversarialDeltaRoundTrip: applying an attack batch and then
+// its inverse (original weights restored, injected edges deleted with
+// weight 0) leaves the store indistinguishable from one that never saw
+// the attack — the reputation vector matches bitwise.
+func TestStoreAdversarialDeltaRoundTrip(t *testing.T) {
+	const n = 12
+	for _, seed := range []uint64{1, 41, 97} {
+		rng := xrand.New(seed)
+		base := randomBatch(rng.Split("base"), n, 40)
+		attack := randomBatch(rng.Split("attack"), n, 25)
+
+		// Record pre-attack weights so the inverse batch can restore them:
+		// one op per touched edge, at its first-touch position, with the
+		// weight the edge had before the attack (0 deletes an injection).
+		ref := trust.NewGraph(n)
+		for _, op := range base {
+			ref.SetTrust(op.From, op.To, op.Weight)
+		}
+		seen := make(map[[2]int]bool, len(attack))
+		var inverse []trust.DeltaOp
+		for _, op := range attack {
+			k := [2]int{op.From, op.To}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			inverse = append(inverse, trust.DeltaOp{From: op.From, To: op.To, Weight: ref.Trust(op.From, op.To)})
+		}
+
+		clean := trust.NewStore(n)
+		if _, err := clean.ApplyDelta(0, base); err != nil {
+			t.Fatal(err)
+		}
+		churned := trust.NewStore(n)
+		for _, batch := range [][]trust.DeltaOp{base, attack, inverse} {
+			if _, err := churned.ApplyDelta(0, batch); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if cs, hs := clean.Stats(), churned.Stats(); cs.Edges != hs.Edges {
+			t.Fatalf("seed %d: edge counts diverge after round trip: clean %d, churned %d", seed, cs.Edges, hs.Edges)
+		}
+
+		want, _, err := clean.Resolve(globalSolve)
+		if err != nil || !want.Converged {
+			t.Fatalf("seed %d: clean solve: %+v err=%v", seed, want, err)
+		}
+		got, _, err := churned.Resolve(globalSolve)
+		if err != nil || !got.Converged {
+			t.Fatalf("seed %d: churned solve: %+v err=%v", seed, got, err)
+		}
+		if !sameBits(want.Scores, got.Scores) {
+			t.Fatalf("seed %d: reputation vector not restored bitwise:\nclean   %v\nchurned %v", seed, want.Scores, got.Scores)
+		}
+	}
+}
+
+// TestStoreGrowthShrinkMatchesFresh: a store that grew to 16 nodes and
+// then had its upper half fully disconnected (weight-0 deletes) must
+// cold-solve to the bitwise-same reputation vector as a fresh 16-node
+// store holding only the surviving edges — stale state from the departed
+// nodes' edges must not leak into the solve.
+func TestStoreGrowthShrinkMatchesFresh(t *testing.T) {
+	rng := xrand.New(23)
+	churned := trust.NewStore(8)
+	if _, err := churned.ApplyDelta(0, randomBatch(rng.Split("core"), 8, 30)); err != nil {
+		t.Fatal(err)
+	}
+	// Growth: 8 joiners, densely wired into everyone.
+	joiners := randomBatch(rng.Split("join"), 16, 60)
+	if _, err := churned.ApplyDelta(16, joiners); err != nil {
+		t.Fatal(err)
+	}
+	// Shrink: disconnect every edge that touches a joiner.
+	var gone []trust.DeltaOp
+	for _, op := range joiners {
+		if op.From >= 8 || op.To >= 8 {
+			gone = append(gone, trust.DeltaOp{From: op.From, To: op.To, Weight: 0})
+		}
+	}
+	if _, err := churned.ApplyDelta(0, gone); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh store: same node count, only the surviving edges. Both stores
+	// are cold (no prior Resolve), so the solves are like for like.
+	fresh := trust.NewStore(16)
+	var live []trust.DeltaOp
+	for _, op := range randomBatch(xrand.New(23).Split("core"), 8, 30) {
+		live = append(live, op)
+	}
+	for _, op := range joiners {
+		if op.From < 8 && op.To < 8 {
+			live = append(live, op)
+		}
+	}
+	if _, err := fresh.ApplyDelta(0, live); err != nil {
+		t.Fatal(err)
+	}
+	if cs, fs := churned.Stats(), fresh.Stats(); cs.N != fs.N || cs.Edges != fs.Edges {
+		t.Fatalf("stores diverge: churned n=%d edges=%d, fresh n=%d edges=%d", cs.N, cs.Edges, fs.N, fs.Edges)
+	}
+
+	got, _, err := churned.Resolve(globalSolve)
+	if err != nil || !got.Converged {
+		t.Fatalf("churned solve: %+v err=%v", got, err)
+	}
+	want, _, err := fresh.Resolve(globalSolve)
+	if err != nil || !want.Converged {
+		t.Fatalf("fresh solve: %+v err=%v", want, err)
+	}
+	if !sameBits(want.Scores, got.Scores) {
+		t.Fatalf("growth-then-shrink left stale reputation state:\nfresh   %v\nchurned %v", want.Scores, got.Scores)
+	}
+}
+
+// TestStoreWarmHintNeverStale drives a store through grow/attack/revert
+// churn with a Resolve after every batch and pins the warm-start
+// invariant: the hint passed to the solver is always exactly the last
+// converged vector, zero-padded for nodes that joined since — never a
+// stale or partially updated mixture.
+func TestStoreWarmHintNeverStale(t *testing.T) {
+	rng := xrand.New(5)
+	s := trust.NewStore(4)
+	var lastScores []float64
+	checkingSolve := func(g *trust.Graph, warm []float64) (trust.SolveResult, error) {
+		if lastScores == nil {
+			if warm != nil {
+				t.Fatalf("warm hint before any converged solve: %v", warm)
+			}
+		} else {
+			if len(warm) != g.N() {
+				t.Fatalf("warm hint length %d, graph has %d nodes", len(warm), g.N())
+			}
+			for i, v := range warm {
+				if i < len(lastScores) {
+					if math.Float64bits(v) != math.Float64bits(lastScores[i]) {
+						t.Fatalf("warm[%d] = %v, want last converged %v", i, v, lastScores[i])
+					}
+				} else if math.Float64bits(v) != 0 {
+					t.Fatalf("warm[%d] = %v for a node that joined after the last solve, want exact 0", i, v)
+				}
+			}
+		}
+		return globalSolve(g, warm)
+	}
+
+	sizes := []int{4, 4, 9, 9, 14, 14}
+	for round, n := range sizes {
+		batch := randomBatch(rng.SplitN("round", round), n, 3*n)
+		if _, err := s.ApplyDelta(n, batch); err != nil {
+			t.Fatal(err)
+		}
+		if round%2 == 1 {
+			// Revert half the round's injections, adversary-style.
+			var revert []trust.DeltaOp
+			for i, op := range batch {
+				if i%2 == 0 {
+					revert = append(revert, trust.DeltaOp{From: op.From, To: op.To, Weight: 0})
+				}
+			}
+			if _, err := s.ApplyDelta(0, revert); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, st, err := s.Resolve(checkingSolve)
+		if err != nil || !res.Converged {
+			t.Fatalf("round %d: %+v err=%v", round, res, err)
+		}
+		lastScores = append([]float64(nil), res.Scores...)
+		if round > 0 && st.WarmSolves == 0 {
+			t.Fatalf("round %d: solves never warm-started: %+v", round, st)
+		}
+	}
+}
