@@ -12,9 +12,12 @@
 //	gridvolint -list                 # print the check catalog
 //
 // Findings print one per line as "file:line:col  [check]  message"
-// (paths relative to the module root). Exit status: 0 when the tree is
-// clean, 1 when there are findings, 2 when loading or type-checking
-// failed. Intentional exceptions are suppressed in the source with
+// (paths relative to the module root). With -json the output is an
+// object {"findings": [...], "packages": N, "elapsed_ms": M} — the
+// package count and wall time let CI watch the interprocedural pass's
+// cost as the module grows. Exit status: 0 when the tree is clean, 1
+// when there are findings, 2 when loading or type-checking failed.
+// Intentional exceptions are suppressed in the source with
 // "//gridvolint:ignore <check> <reason>".
 package main
 
@@ -26,9 +29,19 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"gridvo/internal/analysis"
 )
+
+// lintReport is the -json output shape. Packages and ElapsedMS exist so
+// CI (and anyone trending lint cost) can watch the interprocedural
+// pass's wall time against its budget without re-timing the binary.
+type lintReport struct {
+	Findings  []analysis.Diagnostic `json:"findings"`
+	Packages  int                   `json:"packages"`
+	ElapsedMS int64                 `json:"elapsed_ms"`
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -38,7 +51,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("gridvolint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		jsonOut   = fs.Bool("json", false, "emit findings as a JSON array")
+		jsonOut   = fs.Bool("json", false, "emit a JSON object with findings, package count, and lint wall time")
 		checksArg = fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
 		list      = fs.Bool("list", false, "list available checks and exit")
 		audit     = fs.Bool("audit", false, "inventory //gridvolint:ignore suppressions instead of running checks; malformed or reason-less ones are findings")
@@ -68,11 +81,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runAudit(".", patterns, *jsonOut, stdout, stderr)
 	}
 
-	diags, err := lint(".", patterns, checks)
+	start := time.Now()
+	diags, npkgs, err := lint(".", patterns, checks)
 	if err != nil {
 		fmt.Fprintln(stderr, "gridvolint:", err)
 		return 2
 	}
+	elapsed := time.Since(start)
 
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
@@ -80,7 +95,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if diags == nil {
 			diags = []analysis.Diagnostic{}
 		}
-		if err := enc.Encode(diags); err != nil {
+		out := lintReport{Findings: diags, Packages: npkgs, ElapsedMS: elapsed.Milliseconds()}
+		if err := enc.Encode(out); err != nil {
 			fmt.Fprintln(stderr, "gridvolint:", err)
 			return 2
 		}
@@ -203,11 +219,11 @@ func selectChecks(arg string) ([]*analysis.Check, error) {
 
 // lint loads the packages matched by patterns (relative to dir) and
 // runs the checks, returning diagnostics with module-root-relative
-// paths.
-func lint(dir string, patterns []string, checks []*analysis.Check) ([]analysis.Diagnostic, error) {
+// paths plus the number of packages analyzed.
+func lint(dir string, patterns []string, checks []*analysis.Check) ([]analysis.Diagnostic, int, error) {
 	loader, err := analysis.NewLoader(dir)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 
 	var pkgs []*analysis.Package
@@ -215,7 +231,7 @@ func lint(dir string, patterns []string, checks []*analysis.Check) ([]analysis.D
 	for _, pat := range patterns {
 		matched, err := resolvePattern(loader, dir, pat)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		for _, p := range matched {
 			if !seen[p.Path] {
@@ -231,7 +247,7 @@ func lint(dir string, patterns []string, checks []*analysis.Check) ([]analysis.D
 			diags[i].File = filepath.ToSlash(rel)
 		}
 	}
-	return diags, nil
+	return diags, len(pkgs), nil
 }
 
 // resolvePattern interprets one command-line pattern: "./..." (or any

@@ -33,12 +33,23 @@ func TestJSONFindings(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("run on seeded corpus = %d, want 1; stderr: %s", code, errb.String())
 	}
-	var diags []analysis.Diagnostic
-	if err := json.Unmarshal([]byte(out.String()), &diags); err != nil {
-		t.Fatalf("-json output is not a diagnostic array: %v\n%s", err, out.String())
+	var rep struct {
+		Findings  []analysis.Diagnostic `json:"findings"`
+		Packages  int                   `json:"packages"`
+		ElapsedMS *int64                `json:"elapsed_ms"`
 	}
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("-json output is not a lint report object: %v\n%s", err, out.String())
+	}
+	diags := rep.Findings
 	if len(diags) == 0 {
-		t.Fatal("-json produced an empty array but exit status was 1")
+		t.Fatal("-json produced no findings but exit status was 1")
+	}
+	if rep.Packages != 1 {
+		t.Errorf("packages = %d, want 1 (single corpus directory)", rep.Packages)
+	}
+	if rep.ElapsedMS == nil || *rep.ElapsedMS < 0 {
+		t.Errorf("elapsed_ms missing or negative in report:\n%s", out.String())
 	}
 	for _, d := range diags {
 		if d.Check != "floatcmp" {

@@ -1,0 +1,311 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Allocguard statically audits the functions marked
+// //gridvolint:zeroalloc — the B&B solver's steady-state set, whose
+// zero-allocation contract TestSolveSteadyStateZeroAllocs pins at
+// runtime. The runtime test only sees the paths one workload exercises;
+// this check walks every branch of every marked function and flags the
+// constructs that allocate: composite literals of slice and map types,
+// &T{} literals, make/new, append calls that can grow their backing
+// array, function literals (closure allocation), and interface boxing
+// of non-pointer concrete arguments. A cold branch that allocates slips
+// past the alloc counter until a shape change makes it hot; it does not
+// slip past this check.
+//
+// Exemptions, matching how the solver legitimately writes alloc-free
+// code: allocations inside an `if` whose condition mentions nil, len,
+// or cap (the grow-on-demand buffer idiom — it allocates only until the
+// pool is warm); append onto a slice expression (x[:0] reuse); struct
+// value literals (stack-allocated unless they escape, and escape
+// analysis is the compiler's job, not a linter's); and anything inside
+// a fmt.Errorf/errors.New/panic call (the cold error path allocates by
+// design — the contract covers the steady state, not failure exits).
+// Calls to unmarked module functions that themselves allocate are
+// flagged at the call site via the MayAlloc fact, so the contract
+// cannot silently leak through a helper.
+var Allocguard = &Check{
+	Name: "allocguard",
+	Doc: "allocation (composite literal, growing append, closure, " +
+		"interface boxing) inside a //gridvolint:zeroalloc function",
+	Run: runAllocguard,
+}
+
+// allocSite is one allocating construct found by the shared scanner.
+type allocSite struct {
+	pos  token.Pos
+	desc string
+}
+
+func runAllocguard(pass *Pass) {
+	if pass.Mod == nil {
+		return
+	}
+	mayAlloc := pass.Mod.MayAlloc()
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil || !pass.Mod.Zeroalloc(fn) {
+				continue
+			}
+			for _, s := range allocSites(pass.Pkg, fd.Body) {
+				pass.Report(s.pos, "%s in zeroalloc function %s; reuse a pooled buffer, hoist the allocation to setup, or suppress with a reason",
+					s.desc, fd.Name.Name)
+			}
+			// Allocation leaking through an unmarked helper. Marked callees
+			// are audited on their own declaration instead.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := pass.Pkg.FuncOf(call)
+				if callee == nil || pass.Mod.Zeroalloc(callee) {
+					return true
+				}
+				if w, ok := mayAlloc[callee]; ok {
+					pass.Report(call.Pos(), "call to %s, which %s, in zeroalloc function %s; mark the callee zeroalloc (and fix it) or suppress with a reason",
+						pass.Mod.funcLabel(callee), headline(w), fd.Name.Name)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// MayAlloc returns the allocation fact table over module functions: fn
+// -> witness when fn's body contains an unexempted allocating construct
+// (directly or through a static module call chain). Zeroalloc-marked
+// functions never seed the table — their own violations are reported at
+// their declarations, and treating them as allocation-free here is what
+// lets the marked set call into itself.
+func (m *Module) MayAlloc() map[*types.Func]string {
+	if m.mayAlloc == nil {
+		m.mayAlloc = m.fixpoint(func(fi *FuncInfo) (string, bool) {
+			if m.zeroalloc[fi.Fn] {
+				return "", false
+			}
+			if sites := allocSites(fi.Pkg, fi.Decl.Body); len(sites) > 0 {
+				return "allocates (" + sites[0].desc + ", " + posLine(m.Fset, sites[0].pos) + ")", true
+			}
+			return "", false
+		})
+	}
+	return m.mayAlloc
+}
+
+// allocSites scans one function body for allocating constructs, with
+// the steady-state exemptions described on Allocguard.
+func allocSites(pkg *Package, body *ast.BlockStmt) []allocSite {
+	var sites []allocSite
+	reuse := sliceReuseVars(pkg, body)
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			// Grow-on-demand guard: `if cap(buf) < n { buf = make(...) }`
+			// and `if buf != nil { reuse } else { alloc }` allocate only
+			// until the pool (or the caller's buffer) warms; the steady
+			// state takes the non-allocating branch, so both arms of a
+			// nil/len/cap-conditional are exempt.
+			if growthGuardCond(n.Cond) {
+				walk(n.Cond)
+				return
+			}
+		case *ast.FuncLit:
+			sites = append(sites, allocSite{n.Pos(), "function literal (closure allocation)"})
+			return
+		case *ast.CompositeLit:
+			t := pkg.Info.TypeOf(n)
+			if t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					sites = append(sites, allocSite{n.Pos(), "slice literal"})
+				case *types.Map:
+					sites = append(sites, allocSite{n.Pos(), "map literal"})
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					sites = append(sites, allocSite{n.Pos(), "&composite literal (heap escape)"})
+					return
+				}
+			}
+		case *ast.CallExpr:
+			if coldPathCall(pkg, n) {
+				return
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, isB := builtinOf(pkg, id); isB {
+					switch b.Name() {
+					case "make", "new":
+						sites = append(sites, allocSite{n.Pos(), b.Name() + " call"})
+					case "append":
+						if len(n.Args) > 0 && !appendReuses(pkg, n.Args[0], reuse) {
+							sites = append(sites, allocSite{n.Pos(), "append that can grow its backing array"})
+						}
+					}
+					for _, a := range n.Args {
+						walk(a)
+					}
+					return
+				}
+			}
+			if boxed, pos := boxingArg(pkg, n); boxed != "" {
+				sites = append(sites, allocSite{pos, "interface boxing of " + boxed})
+			}
+		}
+		for _, c := range childNodes(n) {
+			walk(c)
+		}
+	}
+	walk(body)
+	return sites
+}
+
+// sliceReuseVars collects the variables this body initializes from a
+// slice expression — `buf := pooled.rest[:0]` — the amortized
+// buffer-reuse idiom: appends onto such a variable grow the pooled
+// backing array only until the pool is warm, then run allocation-free.
+func sliceReuseVars(pkg *Package, body *ast.BlockStmt) map[types.Object]bool {
+	reuse := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			if _, ok := ast.Unparen(rhs).(*ast.SliceExpr); !ok {
+				continue
+			}
+			if id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok {
+				if obj := pkg.Info.Defs[id]; obj != nil {
+					reuse[obj] = true
+				} else if obj := pkg.Info.Uses[id]; obj != nil {
+					reuse[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return reuse
+}
+
+// appendReuses reports whether an append's first argument targets a
+// reused buffer: a slice expression directly, or a variable seeded from
+// one.
+func appendReuses(pkg *Package, arg ast.Expr, reuse map[types.Object]bool) bool {
+	switch a := ast.Unparen(arg).(type) {
+	case *ast.SliceExpr:
+		return true
+	case *ast.Ident:
+		if obj := pkg.Info.Uses[a]; obj != nil && reuse[obj] {
+			return true
+		}
+	}
+	return false
+}
+
+// growthGuardCond reports whether an if-condition is a buffer-growth
+// guard: it mentions nil, len, or cap.
+func growthGuardCond(cond ast.Expr) bool {
+	guard := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && (id.Name == "nil" || id.Name == "len" || id.Name == "cap") {
+			guard = true
+		}
+		return !guard
+	})
+	return guard
+}
+
+// coldPathCall reports whether call is a cold error-path constructor
+// whose argument allocations are exempt: fmt.Errorf, errors.New,
+// fmt.Sprintf feeding an error, and panic.
+func coldPathCall(pkg *Package, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		if _, isB := builtinOf(pkg, id); isB {
+			return true
+		}
+	}
+	fn := pkg.FuncOf(call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch {
+	case fn.Pkg().Path() == "fmt" && (fn.Name() == "Errorf" || fn.Name() == "Sprintf"):
+		return true
+	case fn.Pkg().Path() == "errors" && fn.Name() == "New":
+		return true
+	}
+	return false
+}
+
+// boxingArg finds the first call argument boxed into an interface
+// parameter: a non-pointer, non-interface concrete value passed where
+// the (statically resolved) callee takes an interface. Pointers convert
+// to interfaces without allocating a copy of the pointee, so only value
+// arguments are flagged.
+func boxingArg(pkg *Package, call *ast.CallExpr) (string, token.Pos) {
+	fn := pkg.FuncOf(call)
+	if fn == nil {
+		return "", token.NoPos
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Variadic() {
+		// Variadic interface params (fmt-style) allocate the slice too,
+		// but those calls are overwhelmingly on cold paths already
+		// covered by coldPathCall; flagging them adds noise, not signal.
+		return "", token.NoPos
+	}
+	for i, arg := range call.Args {
+		if i >= sig.Params().Len() {
+			break
+		}
+		param := sig.Params().At(i).Type()
+		if _, isIface := param.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := pkg.Info.TypeOf(arg)
+		if at == nil {
+			continue
+		}
+		if _, isIface := at.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		if _, isPtr := at.Underlying().(*types.Pointer); isPtr {
+			continue
+		}
+		if at == types.Typ[types.UntypedNil] {
+			continue
+		}
+		return "a " + at.String() + " value", arg.Pos()
+	}
+	return "", token.NoPos
+}
+
+// builtinOf resolves an identifier to the builtin it names, if any.
+func builtinOf(pkg *Package, id *ast.Ident) (*types.Builtin, bool) {
+	obj := pkg.Info.Uses[id]
+	if obj == nil {
+		obj = pkg.Info.Defs[id]
+	}
+	b, ok := obj.(*types.Builtin)
+	return b, ok
+}

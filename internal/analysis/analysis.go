@@ -40,7 +40,10 @@ type Check struct {
 	Run func(pass *Pass)
 }
 
-// All lists every check in the suite, in output order.
+// All lists every check in the suite, in output order. The first seven
+// are the single-function syntactic checks from the original suite; the
+// last five ride the interprocedural Module layer (call graph + fact
+// store) built once per RunChecks.
 var All = []*Check{
 	Maporder,
 	Floatcmp,
@@ -49,6 +52,11 @@ var All = []*Check{
 	Noclock,
 	Randsource,
 	Densehot,
+	Lockfield,
+	Goleak,
+	Lockcall,
+	Fptaint,
+	Allocguard,
 }
 
 // ByName returns the named check, or nil.
@@ -68,6 +76,11 @@ type Pass struct {
 	// ModulePath is the path prefix identifying module-internal
 	// packages; checks use it to tell local calls from stdlib calls.
 	ModulePath string
+	// Mod is the module-wide call graph and fact store, built once per
+	// RunChecks invocation and shared by every check. The interprocedural
+	// checks (goleak, lockcall, fptaint, allocguard) consult its fact
+	// tables; single-function checks can ignore it.
+	Mod *Module
 
 	check *Check
 	diags *[]Diagnostic
@@ -285,9 +298,14 @@ func RunChecks(fset *token.FileSet, modulePath string, pkgs []*Package, checks [
 	var diags []Diagnostic
 	var ignores []ignoreDirective
 
+	// One call graph and one set of fact tables for the whole run: every
+	// interprocedural check shares them, so the marginal cost of another
+	// check is a pass over the facts, not another module traversal.
+	mod := BuildModule(fset, modulePath, pkgs)
+
 	for _, pkg := range pkgs {
 		for _, c := range checks {
-			pass := &Pass{Fset: fset, Pkg: pkg, ModulePath: modulePath, check: c, diags: &diags}
+			pass := &Pass{Fset: fset, Pkg: pkg, ModulePath: modulePath, Mod: mod, check: c, diags: &diags}
 			c.Run(pass)
 		}
 		for _, f := range pkg.Files {

@@ -135,6 +135,19 @@ func TestRandsourceGolden(t *testing.T) { golden(t, Randsource, "src/randsource"
 
 func TestDensehotGolden(t *testing.T) { golden(t, Densehot, "src/densehot/trust") }
 
+func TestLockfieldGolden(t *testing.T)  { golden(t, Lockfield, "src/lockfield") }
+func TestGoleakGolden(t *testing.T)     { golden(t, Goleak, "src/goleak") }
+func TestLockcallGolden(t *testing.T)   { golden(t, Lockcall, "src/lockcall") }
+func TestFptaintGolden(t *testing.T)    { golden(t, Fptaint, "src/fptaint") }
+func TestAllocguardGolden(t *testing.T) { golden(t, Allocguard, "src/allocguard") }
+
+// TestFptaintXrandExempt: a package whose import path ends in /xrand is
+// the sanctioned deterministic randomness source; its values never
+// taint fingerprints.
+func TestFptaintXrandExempt(t *testing.T) {
+	golden(t, Fptaint, "src/fptaint_allowed/xrand")
+}
+
 // TestDensehotSkipsOtherPackages: the same dense constructions outside
 // the trust/reputation hot-path packages produce nothing.
 func TestDensehotSkipsOtherPackages(t *testing.T) {
@@ -165,15 +178,26 @@ func TestSuppression(t *testing.T) {
 	golden(t, Floatcmp, "src/suppress")
 }
 
+// TestSuppressionDeclScopeEdges pins the decl-scope corner cases:
+// nested declarations and closures inside a suppressed function stay
+// covered, a directive on a receiver's type declaration does not leak
+// into the type's methods (while one on the method itself does), a
+// grouped declaration is covered as a unit, and plain line scope still
+// stops after one line.
+func TestSuppressionDeclScopeEdges(t *testing.T) {
+	golden(t, Floatcmp, "src/suppress_edge")
+}
+
 // TestRegressionCorpus pins the crasher-style corpus: minimal
 // reproductions of real violations fixed in this tree, each detected by
 // exactly the intended check.
 func TestRegressionCorpus(t *testing.T) {
 	for rel, check := range map[string]*Check{
-		"regress/recipmul":  Recipmul,
-		"regress/ctxthread": Ctxthread,
-		"regress/maporder":  Maporder,
-		"regress/densehot":  Densehot,
+		"regress/recipmul":   Recipmul,
+		"regress/ctxthread":  Ctxthread,
+		"regress/maporder":   Maporder,
+		"regress/densehot":   Densehot,
+		"regress/allocguard": Allocguard,
 	} {
 		t.Run(rel, func(t *testing.T) { golden(t, check, rel) })
 	}
@@ -185,10 +209,11 @@ func TestRegressionCorpus(t *testing.T) {
 // snippets keep them single-voiced).
 func TestRegressionCorpusSingleCheck(t *testing.T) {
 	for rel, check := range map[string]*Check{
-		"regress/recipmul":  Recipmul,
-		"regress/ctxthread": Ctxthread,
-		"regress/maporder":  Maporder,
-		"regress/densehot":  Densehot,
+		"regress/recipmul":   Recipmul,
+		"regress/ctxthread":  Ctxthread,
+		"regress/maporder":   Maporder,
+		"regress/densehot":   Densehot,
+		"regress/allocguard": Allocguard,
 	} {
 		pkg := loadTestPkg(t, rel)
 		diags := RunChecks(testLoader(t).Fset, pkg.Path, []*Package{pkg}, nil)

@@ -19,6 +19,23 @@
 //   - noclock: time.Now/time.Since outside the server/stats/fault/main
 //     allowlist.
 //   - randsource: math/rand imported outside internal/xrand.
+//   - densehot: dense-matrix scans in hot solver loops where the sparse
+//     substrate applies.
+//
+// Five further checks ride the interprocedural layer (module-wide call
+// graph plus per-function fact store, see module.go):
+//
+//   - lockfield: a struct field that is mutex-guarded — inferred from
+//     majority-under-lock access or declared via //gridvolint:guards —
+//     accessed without the lock held.
+//   - goleak: a goroutine launched with no reachable cancellation,
+//     WaitGroup, or bounded-channel exit path.
+//   - lockcall: a mutex held across a blocking operation (channel op,
+//     select without default, transitively blocking call).
+//   - fptaint: a nondeterministic value (map order, wall clock,
+//     math/rand) flowing through a call chain into a fingerprint sink.
+//   - allocguard: an allocating construct inside a function marked
+//     //gridvolint:zeroalloc (the B&B steady-state set).
 //
 // Intentional exceptions are annotated in the source:
 //

@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Goleak flags go statements that launch a goroutine with no reachable
+// exit path: the launched body (a function literal, or a statically
+// resolved function, transitively through static module calls) spins in
+// a `for { ... }` loop containing no return, break, channel operation,
+// select, context check, or call that can park the goroutine. Such a
+// goroutine can never be cancelled or drained; in a long-lived server
+// each one is a slow leak of stack and whatever state it captured.
+//
+// Precision posture: any channel operation or select inside the loop is
+// taken as evidence of an exit path (a worker ranging over a closed
+// queue, a select on ctx.Done()), so well-formed worker loops — the job
+// worker's `for j := range queue`, the load generator's ticker select —
+// never fire. Goroutines launched through function values or interface
+// methods resolve to no body and are not checked (documented in DESIGN
+// §16).
+var Goleak = &Check{
+	Name: "goleak",
+	Doc: "goroutine launched with no reachable cancellation, WaitGroup, " +
+		"or bounded-channel exit path (unconditional loop with no way out)",
+	Run: runGoleak,
+}
+
+func runGoleak(pass *Pass) {
+	if pass.Mod == nil {
+		return
+	}
+	leaks := pass.Mod.Leaks()
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+				if w, ok := goroutineBodyLeaks(pass.Mod, pass.Pkg, lit.Body, leaks); ok {
+					pass.Report(g.Pos(), "goroutine leaks: %s; give the loop an exit path (context cancellation, channel close, bounded queue) or suppress with a reason", w)
+				}
+				return true
+			}
+			if fn := pass.Pkg.FuncOf(g.Call); fn != nil {
+				if w, ok := leaks[fn]; ok {
+					pass.Report(g.Pos(), "goroutine leaks: %s %s; give the loop an exit path (context cancellation, channel close, bounded queue) or suppress with a reason",
+						pass.Mod.funcLabel(fn), w)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// Leaks returns the leak fact table: fn -> witness when running fn to
+// completion is impossible because it (or a static callee) spins in an
+// unconditional loop with no exit path.
+func (m *Module) Leaks() map[*types.Func]string {
+	if m.leaks == nil {
+		m.leaks = m.fixpoint(func(fi *FuncInfo) (string, bool) {
+			if pos, ok := suspectLoop(fi.Pkg, fi.Decl.Body); ok {
+				return "spins in a for-loop with no return, break, channel operation, or select (" +
+					posLine(m.Fset, pos) + ")", true
+			}
+			return "", false
+		})
+	}
+	return m.leaks
+}
+
+// goroutineBodyLeaks checks a goroutine's function-literal body: a
+// suspect loop of its own, or a call to a module function that leaks.
+func goroutineBodyLeaks(mod *Module, pkg *Package, body *ast.BlockStmt, leaks map[*types.Func]string) (string, bool) {
+	if pos, ok := suspectLoop(pkg, body); ok {
+		return "body spins in a for-loop with no return, break, channel operation, or select (" +
+			posLine(mod.Fset, pos) + ")", true
+	}
+	for _, fn := range callees(pkg, body) {
+		if w, ok := leaks[fn]; ok {
+			return "body calls " + mod.funcLabel(fn) + ", which " + headline(w), true
+		}
+	}
+	return "", false
+}
+
+// suspectLoop finds the first unconditional for-loop in body (not inside
+// a nested function literal) whose loop body offers no exit path: no
+// return, break, goto, select, channel operation, range over a channel,
+// panic, context Done/Err check, or call to a blocking stdlib function.
+func suspectLoop(pkg *Package, body ast.Node) (token.Pos, bool) {
+	var found token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found.IsValid() {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return true
+		}
+		if !loopHasExit(pkg, loop.Body) {
+			found = loop.Pos()
+			return false
+		}
+		return true
+	})
+	return found, found.IsValid()
+}
+
+// loopHasExit scans an unconditional loop's body for anything that can
+// end or park it.
+func loopHasExit(pkg *Package, body *ast.BlockStmt) bool {
+	exit := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if exit {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt, *ast.SelectStmt, *ast.SendStmt:
+			exit = true
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK || n.Tok == token.GOTO {
+				exit = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				exit = true
+			}
+		case *ast.RangeStmt:
+			if t := pkg.Info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					exit = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				exit = true
+				return false
+			}
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok &&
+				(sel.Sel.Name == "Done" || sel.Sel.Name == "Err") {
+				exit = true
+				return false
+			}
+			if fn := pkg.FuncOf(n); fn != nil {
+				if _, ok := blockingStdlibCall(fn); ok {
+					exit = true
+					return false
+				}
+			}
+		}
+		return !exit
+	})
+	return exit
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Lockcall flags a mutex held across a blocking operation: a channel
+// send or receive outside a select-with-default, a select with no
+// default clause (a ctx.Done() wait), ranging over a channel, a
+// blocking stdlib call (WaitGroup.Wait, Cond.Wait, time.Sleep), or a
+// call to a module function that transitively blocks. Holding the job
+// manager's or cache shard's mutex while parked on a channel turns one
+// slow consumer into a server-wide stall — every other request path
+// contends on that lock.
+//
+// The lock model is the positional region scanner shared with
+// lockfield: a blocking site is "under" a lock when it falls between
+// the Lock call and the matching non-deferred Unlock (or function end
+// for deferred unlocks). A select with a default clause never blocks
+// and is exempt — that is precisely the job manager's
+// bounded-queue-send-under-mutex idiom. Blocking through dynamic calls
+// (function values, interface methods) is not seen; the transitive
+// fact covers static module call chains only.
+var Lockcall = &Check{
+	Name: "lockcall",
+	Doc: "mutex held across a blocking operation (channel op, select " +
+		"without default, blocking call) — a contention stall point",
+	Run: runLockcall,
+}
+
+func runLockcall(pass *Pass) {
+	var blocks map[*types.Func]string
+	if pass.Mod != nil {
+		blocks = pass.Mod.Blocks()
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			regions := lockRegions(pass.Pkg, fd.Body, pass.Fset, fd.End())
+			if len(regions) == 0 {
+				continue
+			}
+			sites := blockingSites(pass.Pkg, fd.Body)
+			sites = append(sites, blockingCallSites(pass, fd.Body, blocks)...)
+			for _, s := range sites {
+				for _, r := range regions {
+					if r.from <= s.pos && s.pos < r.to {
+						pass.Report(s.pos,
+							"%s while holding %s (locked at %s); shrink the critical section or suppress with a reason",
+							s.desc, lockName(r), posLine(pass.Fset, r.from))
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// blockingCallSites finds calls to module functions that transitively
+// block, as extra blocking sites for the region overlap test. Function
+// literals and go statements are skipped for the same reason
+// blockingSites skips them: their blocking happens on another schedule.
+func blockingCallSites(pass *Pass, body ast.Node, blocks map[*types.Func]string) []blockSite {
+	if len(blocks) == 0 {
+		return nil
+	}
+	var sites []blockSite
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return
+		case *ast.CallExpr:
+			if fn := pass.Pkg.FuncOf(n); fn != nil {
+				if w, ok := blocks[fn]; ok {
+					sites = append(sites, blockSite{n.Pos(),
+						"call to " + pass.Mod.funcLabel(fn) + ", which " + headline(w)})
+				}
+			}
+		}
+		for _, c := range childNodes(n) {
+			walk(c)
+		}
+	}
+	walk(body)
+	return sites
+}
+
+// lockName renders a region's mutex for messages: "m.mu", or just the
+// mutex name for package-level and local mutexes.
+func lockName(r lockRegion) string {
+	name := "mutex"
+	if r.mutex != nil {
+		name = r.mutex.Name()
+	}
+	if r.base != "" {
+		name = r.base + "." + name
+	}
+	return name
+}

@@ -1,0 +1,364 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Lockfield flags struct fields that are mutex-guarded — inferred from
+// majority-under-lock access, or declared with an explicit
+// //gridvolint:guards <mutexfield> annotation on the field — when they
+// are accessed without the lock held. The repo's serving-path state
+// (the job manager, the sharded engine cache, the trust store) keeps
+// every mutable field behind one mutex; a stray unlocked access is a
+// data race the -race runs only catch when the schedule cooperates,
+// while this check catches it at review time.
+//
+// The lock model is positional per function body: a field access is
+// "held" when it falls between a base.mu.Lock()/RLock() call and the
+// matching non-deferred Unlock (or the end of the function for
+// deferred/absent unlocks) on the same base expression, or when the
+// enclosing function's name ends in "Locked" (the caller-holds-the-lock
+// convention). Accesses through a value constructed in the same
+// function (composite literal, new) are exempt — the value has not
+// escaped, so no lock can be required yet.
+//
+// Inference: a field with at least two held accesses and strictly more
+// held than unheld accesses is considered guarded; every unheld access
+// is then reported. Fields that are themselves synchronization values
+// (mutexes, wait groups, once, atomics, channels) are never inferred —
+// they synchronize themselves — but an explicit annotation still
+// enforces them. Malformed //gridvolint:guards directives (naming no
+// field, or a non-mutex sibling) are findings in their own right.
+var Lockfield = &Check{
+	Name: "lockfield",
+	Doc: "mutex-guarded struct field (majority-under-lock or " +
+		"//gridvolint:guards annotation) accessed without holding the lock",
+	Run: runLockfield,
+}
+
+const guardsPrefix = "//gridvolint:guards"
+
+// lfStruct is one struct type under lock-discipline analysis.
+type lfStruct struct {
+	named   *types.Named
+	mutexes []*types.Var
+	// eligible fields participate in majority inference; annotated maps a
+	// field to its declared guard (a superset of eligible: annotations can
+	// opt in fields inference skips).
+	eligible  map[*types.Var]bool
+	annotated map[*types.Var]*types.Var
+}
+
+// lfAccess is one field access with its lock status.
+type lfAccess struct {
+	pos    token.Pos
+	field  *types.Var
+	held   bool
+	exempt bool
+}
+
+func runLockfield(pass *Pass) {
+	fieldOwner := lockfieldStructs(pass)
+	if len(fieldOwner) == 0 {
+		return
+	}
+
+	var accesses []lfAccess
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			accesses = append(accesses, lockfieldFunc(pass, fd, fieldOwner)...)
+		}
+	}
+
+	// Tally per field, then report every unheld access to a guarded one.
+	type tally struct{ held, unheld int }
+	counts := map[*types.Var]*tally{}
+	for _, a := range accesses {
+		if a.exempt {
+			continue
+		}
+		t := counts[a.field]
+		if t == nil {
+			t = &tally{}
+			counts[a.field] = t
+		}
+		if a.held {
+			t.held++
+		} else {
+			t.unheld++
+		}
+	}
+	for _, a := range accesses {
+		if a.held || a.exempt {
+			continue
+		}
+		st := fieldOwner[a.field]
+		guard, guarded := st.annotated[a.field]
+		t := counts[a.field]
+		if !guarded && st.eligible[a.field] && t.held >= 2 && t.held > t.unheld {
+			guarded = true
+			guard = st.mutexes[0]
+		}
+		if !guarded {
+			continue
+		}
+		pass.Report(a.pos,
+			"field %s.%s is guarded by %s (held for %d of %d accesses) but this access does not hold it; lock it, use a *Locked helper, or suppress with a reason",
+			st.named.Obj().Name(), a.field.Name(), guard.Name(), t.held, t.held+t.unheld)
+	}
+}
+
+// lockfieldStructs collects the package's named struct types that carry
+// at least one sync.Mutex/RWMutex field, parses their guards
+// annotations (reporting malformed ones), and indexes every analyzable
+// field back to its struct.
+func lockfieldStructs(pass *Pass) map[*types.Var]*lfStruct {
+	fieldOwner := map[*types.Var]*lfStruct{}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts := spec.(*ast.TypeSpec)
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				obj := pass.ObjectOf(ts.Name)
+				if obj == nil {
+					continue
+				}
+				n, ok := obj.Type().(*types.Named)
+				if !ok {
+					continue
+				}
+				ls := buildLockfieldStruct(pass, n, st)
+				if ls == nil {
+					continue
+				}
+				for f := range ls.eligible {
+					fieldOwner[f] = ls
+				}
+				for f := range ls.annotated {
+					fieldOwner[f] = ls
+				}
+			}
+		}
+	}
+	return fieldOwner
+}
+
+// buildLockfieldStruct classifies one struct's fields and parses its
+// guards directives. Returns nil when the struct has no mutex field
+// (nothing to guard with).
+func buildLockfieldStruct(pass *Pass, named *types.Named, st *ast.StructType) *lfStruct {
+	ls := &lfStruct{
+		named:     named,
+		eligible:  map[*types.Var]bool{},
+		annotated: map[*types.Var]*types.Var{},
+	}
+	byName := map[string]*types.Var{}
+	for _, f := range st.Fields.List {
+		for _, name := range f.Names {
+			v, ok := pass.ObjectOf(name).(*types.Var)
+			if !ok {
+				continue
+			}
+			byName[v.Name()] = v
+			if isMutexType(v.Type()) {
+				ls.mutexes = append(ls.mutexes, v)
+			} else if !selfSyncedType(v.Type()) {
+				ls.eligible[v] = true
+			}
+		}
+	}
+	if len(ls.mutexes) == 0 {
+		return nil
+	}
+
+	// Guards annotations, attached as a field's doc or trailing comment.
+	for _, f := range st.Fields.List {
+		for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+			if cg == nil {
+				continue
+			}
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, guardsPrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				var guard *types.Var
+				if len(fields) >= 1 {
+					guard = byName[fields[0]]
+				}
+				if guard == nil || !isMutexType(guard.Type()) {
+					pass.Report(c.Pos(),
+						"malformed guards directive %q: want %s <mutexfield> naming a sync.Mutex/RWMutex field of %s",
+						c.Text, guardsPrefix, named.Obj().Name())
+					continue
+				}
+				for _, name := range f.Names {
+					if v, ok := pass.ObjectOf(name).(*types.Var); ok && v != guard {
+						ls.annotated[v] = guard
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(ls.mutexes, func(i, j int) bool { return ls.mutexes[i].Pos() < ls.mutexes[j].Pos() })
+	return ls
+}
+
+// lockfieldFunc collects the guarded-field accesses of one function,
+// with each access's positional lock status.
+func lockfieldFunc(pass *Pass, fd *ast.FuncDecl, fieldOwner map[*types.Var]*lfStruct) []lfAccess {
+	heldAll := strings.HasSuffix(fd.Name.Name, "Locked")
+	regions := lockRegions(pass.Pkg, fd.Body, pass.Fset, fd.End())
+	fresh := constructedBases(pass, fd, fieldOwner)
+
+	var out []lfAccess
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		v, ok := pass.ObjectOf(sel.Sel).(*types.Var)
+		if !ok {
+			return true
+		}
+		if _, tracked := fieldOwner[v]; !tracked {
+			return true
+		}
+		base := types.ExprString(sel.X)
+		out = append(out, lfAccess{
+			pos:    sel.Sel.Pos(),
+			field:  v,
+			held:   heldAll || heldAt(regions, base, nil, sel.Sel.Pos()),
+			exempt: fresh[rootIdentName(sel.X)],
+		})
+		return true
+	})
+	return out
+}
+
+// constructedBases finds local variables initialized in this function
+// from a composite literal or new() of a tracked struct type: values
+// that have not escaped yet, whose field accesses need no lock.
+func constructedBases(pass *Pass, fd *ast.FuncDecl, fieldOwner map[*types.Var]*lfStruct) map[string]bool {
+	tracked := func(t types.Type) bool {
+		for t != nil {
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+				continue
+			}
+			break
+		}
+		n, ok := t.(*types.Named)
+		if !ok {
+			return false
+		}
+		for _, ls := range fieldOwner {
+			if ls.named == n {
+				return true
+			}
+		}
+		return false
+	}
+	fresh := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			rhs := ast.Unparen(as.Rhs[i])
+			if u, ok := rhs.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				rhs = ast.Unparen(u.X)
+			}
+			switch r := rhs.(type) {
+			case *ast.CompositeLit:
+				if tracked(pass.TypeOf(r)) {
+					fresh[id.Name] = true
+				}
+			case *ast.CallExpr:
+				if b, ok := ast.Unparen(r.Fun).(*ast.Ident); ok && b.Name == "new" && len(r.Args) == 1 {
+					if tracked(pass.TypeOf(r.Args[0])) {
+						fresh[id.Name] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// rootIdentName returns the leftmost identifier of a selector chain
+// ("m" for m.jobs[i].id), or "" when the base is not ident-rooted.
+func rootIdentName(e ast.Expr) string {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x.Name
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return ""
+		}
+	}
+}
+
+// isMutexType recognizes sync.Mutex and sync.RWMutex (and pointers to
+// them).
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// selfSyncedType reports whether a field's type synchronizes itself and
+// is therefore excluded from guard inference: channels, sync package
+// values, and sync/atomic values.
+func selfSyncedType(t types.Type) bool {
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && (obj.Pkg().Path() == "sync" || obj.Pkg().Path() == "sync/atomic")
+}

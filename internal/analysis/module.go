@@ -1,0 +1,520 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the interprocedural layer the concurrency and
+// determinism checks compose on: a module-wide static call graph over
+// every loaded package, and a per-function fact store whose boolean
+// facts (blocks, leaks, returns-nondeterminism, may-allocate) are
+// propagated to a fixpoint along call edges. Facts are computed once
+// per RunChecks invocation and shared by every check, so adding a
+// twelfth check costs one more pass over the fact tables, not another
+// type-check of the module.
+//
+// Soundness posture: the call graph covers static calls only — a call
+// through an interface method, function value, or method value resolves
+// to no FuncInfo and contributes no fact. Checks therefore
+// under-approximate through dynamic dispatch (documented per check in
+// DESIGN §16); within the module's concrete call chains the facts are
+// exact to the per-function heuristics that seed them.
+
+// FuncInfo ties one declared function or method to its syntax,
+// package, and static callees.
+type FuncInfo struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	// Callees are the statically resolved functions this body calls, in
+	// first-call source order, deduplicated. Dynamic calls (interface
+	// methods, function values) are absent by construction.
+	Callees []*types.Func
+}
+
+// Module is the whole-program context shared by every check in one
+// RunChecks invocation: the call graph plus memoized fact tables.
+type Module struct {
+	Path string
+	Fset *token.FileSet
+	Pkgs []*Package
+	// Funcs indexes every declared function and method with a body.
+	Funcs map[*types.Func]*FuncInfo
+
+	// order fixes a deterministic iteration sequence (file, then
+	// position) so fact propagation — and therefore witness strings and
+	// diagnostic output — is identical run to run.
+	order []*FuncInfo
+
+	// zeroalloc holds the functions whose doc comment carries the
+	// //gridvolint:zeroalloc marker — the allocguard check's target set.
+	zeroalloc map[*types.Func]bool
+
+	blocks   map[*types.Func]string
+	leaks    map[*types.Func]string
+	nondet   map[*types.Func]string
+	mayAlloc map[*types.Func]string
+}
+
+// zeroallocMarker is the declaration marker naming a function part of
+// the zero-allocation steady-state set checked by allocguard.
+const zeroallocMarker = "//gridvolint:zeroalloc"
+
+// BuildModule constructs the call graph over pkgs. It is cheap relative
+// to type-checking (one AST walk per function) and runs once per
+// RunChecks call.
+func BuildModule(fset *token.FileSet, modulePath string, pkgs []*Package) *Module {
+	m := &Module{
+		Path:      modulePath,
+		Fset:      fset,
+		Pkgs:      pkgs,
+		Funcs:     map[*types.Func]*FuncInfo{},
+		zeroalloc: map[*types.Func]bool{},
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fi := &FuncInfo{Fn: fn, Decl: fd, Pkg: pkg, Callees: callees(pkg, fd.Body)}
+				m.Funcs[fn] = fi
+				m.order = append(m.order, fi)
+				if docHasMarker(fd.Doc, zeroallocMarker) {
+					m.zeroalloc[fn] = true
+				}
+			}
+		}
+	}
+	sort.Slice(m.order, func(i, j int) bool {
+		a, b := fset.Position(m.order[i].Decl.Pos()), fset.Position(m.order[j].Decl.Pos())
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+	return m
+}
+
+// docHasMarker reports whether any line of a doc comment is the given
+// directive (trailing text after the marker is tolerated and ignored).
+func docHasMarker(doc *ast.CommentGroup, marker string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == marker || strings.HasPrefix(c.Text, marker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// callees statically resolves every call in body, in source order,
+// deduplicated. Function literals are not descended into: a closure's
+// calls belong to the closure, which runs on its own schedule.
+func callees(pkg *Package, body *ast.BlockStmt) []*types.Func {
+	var out []*types.Func
+	seen := map[*types.Func]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := pkg.FuncOf(call); fn != nil && !seen[fn] {
+			seen[fn] = true
+			out = append(out, fn)
+		}
+		return true
+	})
+	return out
+}
+
+// FuncOf resolves a called expression to the *types.Func it invokes
+// (through selectors and parenthesization), or nil — the package-level
+// twin of Pass.PkgFunc, usable outside a check pass.
+func (p *Package) FuncOf(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	obj := p.Info.Uses[id]
+	if obj == nil {
+		obj = p.Info.Defs[id]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// Zeroalloc reports whether fn carries the //gridvolint:zeroalloc
+// marker.
+func (m *Module) Zeroalloc(fn *types.Func) bool { return m.zeroalloc[fn] }
+
+// funcLabel renders a function for witness strings: Recv.Name or
+// pkg.Name, position-free so goldens stay stable.
+func (m *Module) funcLabel(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return recvName(sig) + "." + fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// fixpoint propagates a per-function fact to convergence along the call
+// graph: direct seeds each function's own fact (witness, ok); a
+// function without a direct fact inherits "calls <callee>: <witness>"
+// from its first facted callee in source order. Iteration follows
+// m.order, so the result is deterministic.
+func (m *Module) fixpoint(direct func(fi *FuncInfo) (string, bool)) map[*types.Func]string {
+	facts := map[*types.Func]string{}
+	for _, fi := range m.order {
+		if w, ok := direct(fi); ok {
+			facts[fi.Fn] = w
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range m.order {
+			if _, ok := facts[fi.Fn]; ok {
+				continue
+			}
+			for _, c := range fi.Callees {
+				if w, ok := facts[c]; ok {
+					facts[fi.Fn] = "calls " + m.funcLabel(c) + ", which " + headline(w)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return facts
+}
+
+// headline trims a witness chain to its first link so deep call chains
+// stay readable: "calls a, which calls b, which blocks on x" collapses
+// the tail.
+func headline(w string) string {
+	if i := strings.Index(w, ", which "); i >= 0 {
+		return w[:i] + " (transitively)"
+	}
+	return w
+}
+
+// ---------------------------------------------------------------------
+// Blocking-site scanner, shared by the lockcall and goleak checks.
+
+// blockSite is one potentially blocking operation in a function body.
+type blockSite struct {
+	pos  token.Pos
+	desc string
+}
+
+// blockingSites scans a body for operations that can block the calling
+// goroutine: channel sends and receives outside a select, selects
+// without a default clause, ranging over a channel, and the blocking
+// stdlib calls (WaitGroup.Wait, Cond.Wait, time.Sleep). Communication
+// clauses of a select are charged to the select itself — a select with
+// a default never blocks, which is exactly the pattern the job manager
+// uses to send on a bounded queue under its mutex. Function literals
+// are not descended into (their blocking belongs to whoever runs them),
+// and go statements block the new goroutine, not this one.
+func blockingSites(pkg *Package, body ast.Node) []blockSite {
+	var sites []blockSite
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return
+		case *ast.GoStmt:
+			return
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, cl := range n.Body.List {
+				if cl.(*ast.CommClause).Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				sites = append(sites, blockSite{n.Pos(), "select with no default clause"})
+			}
+			for _, cl := range n.Body.List {
+				for _, st := range cl.(*ast.CommClause).Body {
+					walk(st)
+				}
+			}
+			return
+		case *ast.SendStmt:
+			sites = append(sites, blockSite{n.Pos(), "channel send"})
+			return
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				sites = append(sites, blockSite{n.Pos(), "channel receive"})
+				return
+			}
+		case *ast.RangeStmt:
+			if t := pkg.Info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					sites = append(sites, blockSite{n.Pos(), "range over channel"})
+				}
+			}
+		case *ast.CallExpr:
+			if fn := pkg.FuncOf(n); fn != nil {
+				if desc, ok := blockingStdlibCall(fn); ok {
+					sites = append(sites, blockSite{n.Pos(), desc})
+					return
+				}
+			}
+		}
+		for _, c := range childNodes(n) {
+			walk(c)
+		}
+	}
+	walk(body)
+	sort.Slice(sites, func(i, j int) bool { return sites[i].pos < sites[j].pos })
+	return sites
+}
+
+// blockingStdlibCall recognizes the standard-library calls that park
+// the goroutine: sync.WaitGroup.Wait, sync.Cond.Wait, and time.Sleep.
+func blockingStdlibCall(fn *types.Func) (string, bool) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	switch {
+	case pkg.Path() == "time" && fn.Name() == "Sleep":
+		return "time.Sleep", true
+	case pkg.Path() == "sync" && fn.Name() == "Wait":
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return "sync." + recvName(sig) + ".Wait", true
+		}
+	}
+	return "", false
+}
+
+// childNodes lists a node's direct children, for the custom walkers
+// that need to handle some node kinds specially before recursing.
+func childNodes(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false
+	})
+	return out
+}
+
+// Blocks returns the blocking fact table: fn -> witness when fn can
+// block (directly or through a static module call chain).
+func (m *Module) Blocks() map[*types.Func]string {
+	if m.blocks == nil {
+		m.blocks = m.fixpoint(func(fi *FuncInfo) (string, bool) {
+			if sites := blockingSites(fi.Pkg, fi.Decl.Body); len(sites) > 0 {
+				return "blocks on a " + sites[0].desc, true
+			}
+			return "", false
+		})
+	}
+	return m.blocks
+}
+
+// ---------------------------------------------------------------------
+// Mutex-region scanner, shared by the lockcall and lockfield checks.
+
+// lockEvent is one mutex transition inside a function body, in source
+// position order.
+type lockEvent struct {
+	pos      token.Pos
+	end      token.Pos
+	base     string // rendering of the expression the mutex hangs off ("m", "s.jobs")
+	mutex    types.Object
+	acquire  bool
+	deferred bool
+	rlock    bool
+	// depth is the count of enclosing blocks; a release nested deeper
+	// than its acquire is an early-exit unlock (unlock-then-return in a
+	// branch) and does not end the region on the fall-through path.
+	depth int
+}
+
+// lockRegion is one positional span of a function body during which a
+// mutex is held: from the Lock call to the matching Unlock, or to the
+// end of the function when the Unlock is deferred (or missing). The
+// model is positional, not path-sensitive — Lock/Unlock in sequence
+// form a region even across branches — which matches how this codebase
+// writes critical sections (lock at top, defer unlock, or
+// lock/op/unlock straight-line).
+type lockRegion struct {
+	base     string
+	mutex    types.Object
+	from, to token.Pos
+	rlock    bool
+}
+
+// lockEvents collects mutex Lock/RLock/Unlock/RUnlock calls in body,
+// attributed to the expression the mutex is a field of.
+func lockEvents(pkg *Package, body ast.Node, fset *token.FileSet) []lockEvent {
+	var events []lockEvent
+	depthAt := func(pos token.Pos) int {
+		depth := 0
+		ast.Inspect(body, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			if n.Pos() > pos || n.End() <= pos {
+				return false
+			}
+			if _, ok := n.(*ast.BlockStmt); ok {
+				depth++
+			}
+			return true
+		})
+		return depth
+	}
+	record := func(call *ast.CallExpr, deferred bool) {
+		fn := pkg.FuncOf(call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return
+		}
+		var acquire, rlock bool
+		switch fn.Name() {
+		case "Lock":
+			acquire = true
+		case "RLock":
+			acquire, rlock = true, true
+		case "Unlock":
+		case "RUnlock":
+			rlock = true
+		default:
+			return
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		// call is base.mutexField.Lock(): split the receiver expression
+		// into the mutex field and the value holding it.
+		mutexSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok {
+			// Locking a plain variable (mu.Lock() on a package-level or
+			// local mutex): base is the empty string.
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				events = append(events, lockEvent{
+					pos: call.Pos(), end: call.End(), base: "",
+					mutex: pkg.Info.Uses[id], acquire: acquire, deferred: deferred, rlock: rlock,
+					depth: depthAt(call.Pos()),
+				})
+			}
+			return
+		}
+		events = append(events, lockEvent{
+			pos: call.Pos(), end: call.End(), base: types.ExprString(mutexSel.X),
+			mutex: pkg.Info.Uses[mutexSel.Sel], acquire: acquire, deferred: deferred, rlock: rlock,
+			depth: depthAt(call.Pos()),
+		})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			record(n.Call, true)
+			return false
+		case *ast.CallExpr:
+			record(n, false)
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	return events
+}
+
+// lockRegions pairs the events of one function body into held spans.
+// funcEnd caps regions whose release is deferred or absent.
+func lockRegions(pkg *Package, body ast.Node, fset *token.FileSet, funcEnd token.Pos) []lockRegion {
+	events := lockEvents(pkg, body, fset)
+	type key struct {
+		base  string
+		mutex types.Object
+	}
+	open := map[key]*lockRegion{}
+	depth := map[key]int{}
+	var regions []lockRegion
+	for _, e := range events {
+		k := key{e.base, e.mutex}
+		if e.acquire {
+			if open[k] == nil {
+				open[k] = &lockRegion{base: e.base, mutex: e.mutex, from: e.end, to: funcEnd, rlock: e.rlock}
+				depth[k] = e.depth
+			}
+			continue
+		}
+		if e.deferred {
+			continue // releases at return; the region runs to funcEnd
+		}
+		if r := open[k]; r != nil {
+			if e.depth > depth[k] {
+				// Early-exit unlock in a nested branch (unlock-then-return):
+				// the fall-through path still holds the lock, so the region
+				// stays open.
+				continue
+			}
+			r.to = e.pos
+			regions = append(regions, *r)
+			open[k] = nil
+		}
+	}
+	for _, r := range open {
+		if r != nil {
+			regions = append(regions, *r)
+		}
+	}
+	sort.Slice(regions, func(i, j int) bool { return regions[i].from < regions[j].from })
+	return regions
+}
+
+// heldAt reports whether pos falls inside any of the regions guarding
+// (base, mutex); a nil mutex matches any mutex on the base.
+func heldAt(regions []lockRegion, base string, mutex types.Object, pos token.Pos) bool {
+	for _, r := range regions {
+		if r.from <= pos && pos < r.to && r.base == base && (mutex == nil || r.mutex == mutex) {
+			return true
+		}
+	}
+	return false
+}
+
+// posLine formats a position as file-less "line N" for messages that
+// already carry the file through the diagnostic position.
+func posLine(fset *token.FileSet, pos token.Pos) string {
+	return fmt.Sprintf("line %d", fset.Position(pos).Line)
+}

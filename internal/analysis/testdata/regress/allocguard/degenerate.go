@@ -1,0 +1,47 @@
+// Package allocguard reproduces the finding fixed in
+// internal/assign/bnb.go: SolveCtx's k==0 degenerate branch built a
+// fresh empty slice for Solution.Assign even when the caller supplied a
+// reusable buffer via Options.AssignBuf, allocating on a path the
+// zero-allocation contract covers. The fix reuses the caller's buffer
+// and falls back to the literal only when none was provided (which the
+// nil-guard exemption recognizes as the caller-buffer idiom).
+package allocguard
+
+type options struct{ assignBuf []int }
+
+type solution struct {
+	feasible bool
+	assign   []int
+}
+
+// degenerateBefore is the shape as shipped: unconditional empty-slice
+// literal.
+//
+//gridvolint:zeroalloc
+func degenerateBefore(n int, opts options) solution {
+	var sol solution
+	if n == 0 {
+		sol.feasible = true
+		sol.assign = []int{} // want "slice literal in zeroalloc function degenerateBefore"
+		return sol
+	}
+	return sol
+}
+
+// degenerateAfter is the fixed shape: reuse the caller's buffer, with
+// the literal only on the no-buffer path.
+//
+//gridvolint:zeroalloc
+func degenerateAfter(n int, opts options) solution {
+	var sol solution
+	if n == 0 {
+		sol.feasible = true
+		if opts.assignBuf != nil {
+			sol.assign = opts.assignBuf[:0]
+		} else {
+			sol.assign = []int{}
+		}
+		return sol
+	}
+	return sol
+}

@@ -1,0 +1,120 @@
+// Package allocguard exercises the zero-allocation audit: allocating
+// constructs inside //gridvolint:zeroalloc functions, the
+// grow-on-demand and buffer-reuse exemptions, cold error paths, and
+// allocation leaking through unmarked helpers.
+package allocguard
+
+import (
+	"errors"
+	"fmt"
+)
+
+type scratch struct {
+	buf  []int
+	rest []int
+}
+
+// hot is the well-formed steady-state shape: guarded growth, pooled
+// reuse, nothing flagged.
+//
+//gridvolint:zeroalloc
+func hot(s *scratch, n int) int {
+	if cap(s.buf) < n {
+		s.buf = make([]int, n)
+	}
+	out := s.rest[:0]
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	s.rest = out
+	total := 0
+	for _, v := range out {
+		total += v
+	}
+	return total
+}
+
+//gridvolint:zeroalloc
+func growsFresh(n int) int {
+	out := []int{} // want "slice literal in zeroalloc function growsFresh"
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want "append that can grow its backing array"
+	}
+	return len(out)
+}
+
+//gridvolint:zeroalloc
+func buildsMap() int {
+	seen := map[int]bool{} // want "map literal in zeroalloc function buildsMap"
+	return len(seen)
+}
+
+//gridvolint:zeroalloc
+func capturesClosure(n int) func() int {
+	return func() int { // want "function literal (closure allocation)"
+		return n
+	}
+}
+
+type point struct{ x int }
+
+//gridvolint:zeroalloc
+func escapes() *point {
+	return &point{x: 1} // want "heap escape"
+}
+
+type summer interface{ sum() int }
+
+func (p point) sum() int { return p.x }
+
+type pointRef struct{ x int }
+
+func (p *pointRef) sum() int { return p.x }
+
+func consume(s summer) int { return s.sum() }
+
+//gridvolint:zeroalloc
+func boxesValue(p point) int {
+	return consume(p) // want "interface boxing of a"
+}
+
+// boxesPointer converts a pointer to an interface: no copy of the
+// pointee, not flagged.
+//
+//gridvolint:zeroalloc
+func boxesPointer(p *pointRef) int {
+	return consume(p)
+}
+
+// coldError: error-path constructors allocate by design; the contract
+// covers the steady state.
+//
+//gridvolint:zeroalloc
+func coldError(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative size %d", n)
+	}
+	if n > 1<<20 {
+		return errors.New("size out of range")
+	}
+	return nil
+}
+
+// helper allocates and carries no marker: its own body is fine, but
+// marked callers are flagged at the call site.
+func helper(n int) []int {
+	return make([]int, n)
+}
+
+//gridvolint:zeroalloc
+func leaksThroughHelper(n int) int {
+	v := helper(n) // want "call to allocguard.helper, which allocates"
+	return len(v)
+}
+
+// unmarked allocates freely: no marker, no findings.
+func unmarked(n int) map[int][]int {
+	m := make(map[int][]int, n)
+	m[0] = append(m[0], n)
+	return m
+}

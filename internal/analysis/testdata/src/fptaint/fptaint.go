@@ -1,0 +1,86 @@
+// Package fptaint exercises the interprocedural taint check:
+// nondeterministic values produced in helpers (map-iteration order,
+// wall clock) flowing through assignments, ranges, and call chains into
+// fingerprint sinks — and the sorted/deterministic shapes that must
+// stay silent.
+package fptaint
+
+import (
+	"hash/fnv"
+	"sort"
+	"time"
+)
+
+// keysOf returns the map's keys in iteration order: a NondetRet source.
+func keysOf(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// sortedKeysOf launders the order back into determinism before
+// returning.
+func sortedKeysOf(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// stampString derives its return value from the wall clock.
+func stampString() string {
+	return time.Now().String()
+}
+
+// constParts is deterministic: no source anywhere.
+func constParts() []string {
+	return []string{"alpha", "beta"}
+}
+
+// hashParts is a sink by name.
+func hashParts(parts []string) uint64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+	}
+	return h.Sum64()
+}
+
+func fingerprintUnsorted(m map[string]int) uint64 {
+	h := fnv.New64a()
+	keys := keysOf(m)
+	for _, k := range keys {
+		h.Write([]byte(k)) // want "nondeterministic value reaches Writer.Write"
+	}
+	return h.Sum64()
+}
+
+func fingerprintSorted(m map[string]int) uint64 {
+	h := fnv.New64a()
+	for _, k := range sortedKeysOf(m) {
+		h.Write([]byte(k))
+	}
+	return h.Sum64()
+}
+
+func selectionKey(m map[string]int) uint64 {
+	parts := keysOf(m)
+	return hashParts(parts) // want "nondeterministic value reaches hashParts"
+}
+
+func timedKey() uint64 {
+	t := stampString()
+	return hashParts([]string{t}) // want "nondeterministic value reaches hashParts"
+}
+
+func directCallKey(m map[string]int) uint64 {
+	return hashParts(keysOf(m)) // want "nondeterministic value reaches hashParts"
+}
+
+func deterministicKey() uint64 {
+	return hashParts(constParts())
+}

@@ -1,0 +1,34 @@
+// Package xrand mimics the module's deterministic randomness package:
+// fptaint exempts any package whose import path ends in /xrand, so its
+// seeded values never taint fingerprints.
+package xrand
+
+import "hash/fnv"
+
+type Source struct{ state uint64 }
+
+func New(seed uint64) *Source { return &Source{state: seed} }
+
+// Next is seed-derived and fully deterministic.
+func (s *Source) Next() uint64 {
+	s.state = s.state*6364136223846793005 + 1442695040888963407
+	return s.state
+}
+
+func perm(s *Source, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		j := int(s.Next() % uint64(i+1))
+		out[i] = out[j]
+		out[j] = i
+	}
+	return out
+}
+
+func hashPerm(s *Source, n int) uint64 {
+	h := fnv.New64a()
+	for _, v := range perm(s, n) {
+		h.Write([]byte{byte(v)})
+	}
+	return h.Sum64()
+}

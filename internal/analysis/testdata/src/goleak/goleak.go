@@ -1,0 +1,102 @@
+// Package goleak exercises the goleak check: goroutines whose body
+// spins in an unconditional loop with no exit path, directly or through
+// a static call chain, against the well-formed worker shapes that must
+// stay silent.
+package goleak
+
+import "time"
+
+func launchSpinner() {
+	go func() { // want "goroutine leaks"
+		n := 0
+		for {
+			n++
+		}
+	}()
+}
+
+// spin loops forever with no way out; only launching it as a goroutine
+// is reported, calling it inline is the caller's own problem.
+func spin() {
+	n := 0
+	for {
+		n++
+	}
+}
+
+func launchSpin() {
+	go spin() // want "goroutine leaks"
+}
+
+// wrapper leaks transitively: everything it does is call spin.
+func wrapper() {
+	spin()
+}
+
+func launchWrapper() {
+	go wrapper() // want "goroutine leaks"
+}
+
+func launchLitCallingSpin() {
+	go func() { // want "goroutine leaks"
+		spin()
+	}()
+}
+
+// Negative shapes: every loop below has an exit or parking path.
+
+func rangeWorker(ch chan int) {
+	for range ch {
+	}
+}
+
+func launchRangeWorker(ch chan int) {
+	go rangeWorker(ch)
+}
+
+func launchSelectWorker(done chan struct{}, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case w := <-work:
+				_ = w
+			}
+		}
+	}()
+}
+
+func launchReceiver(stop chan struct{}) {
+	go func() {
+		for {
+			<-stop
+		}
+	}()
+}
+
+func launchBreaker(limit int) {
+	go func() {
+		n := 0
+		for {
+			n++
+			if n > limit {
+				break
+			}
+		}
+	}()
+}
+
+func launchSleeper() {
+	go func() {
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+}
+
+func launchStraightLine() {
+	go func() {
+		_ = time.Second
+	}()
+}

@@ -1,0 +1,86 @@
+// Package lockcall exercises the lockcall check: blocking operations
+// inside positional mutex regions, the select-with-default exemption,
+// and transitive blocking through static module calls.
+package lockcall
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (b *box) sendUnderLock() {
+	b.mu.Lock()
+	b.ch <- 1 // want "channel send while holding b.mu"
+	b.mu.Unlock()
+}
+
+func (b *box) recvUnderDeferredLock(done chan struct{}) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	<-done // want "channel receive while holding b.mu"
+}
+
+func (b *box) selectUnderLock(done chan struct{}) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { // want "select with no default clause while holding b.mu"
+	case <-done:
+	case b.ch <- 1:
+	}
+}
+
+// boundedSend is the job manager's idiom: a select with a default
+// clause never parks, so sending on a bounded queue under the mutex is
+// fine.
+func (b *box) boundedSend() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case b.ch <- 1:
+		return true
+	default:
+		return false
+	}
+}
+
+func (b *box) waitUnderLock(wg *sync.WaitGroup) {
+	b.mu.Lock()
+	wg.Wait() // want "sync.WaitGroup.Wait while holding b.mu"
+	b.mu.Unlock()
+}
+
+// unlockFirst releases before parking: no region covers the receive.
+func (b *box) unlockFirst(done chan struct{}) {
+	b.mu.Lock()
+	b.ch <- 0 // want "channel send while holding b.mu"
+	b.mu.Unlock()
+	<-done
+}
+
+// drainSlow blocks, so callers holding a lock are flagged at the call
+// site through the Blocks fact.
+func drainSlow(ch chan int) int {
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+
+func (b *box) drainUnderLock() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return drainSlow(b.ch) // want "call to lockcall.drainSlow"
+}
+
+// goUnderLock launches a goroutine while locked: the goroutine's
+// blocking happens on its own schedule, not under this lock.
+func (b *box) goUnderLock(done chan struct{}) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() {
+		<-done
+	}()
+}

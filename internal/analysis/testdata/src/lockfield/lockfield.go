@@ -1,0 +1,89 @@
+// Package lockfield exercises the lockfield check: majority-under-lock
+// inference, //gridvolint:guards annotations, the *Locked and
+// constructor exemptions, the early-exit unlock region model, and
+// malformed directives as findings.
+package lockfield
+
+import "sync"
+
+// counter's hits field is never annotated: three of its four accesses
+// hold mu, so inference marks it guarded and flags the fourth.
+type counter struct {
+	mu   sync.Mutex
+	hits int
+	name string // accessed without locks only; never inferred guarded
+}
+
+func (c *counter) bump() {
+	c.mu.Lock()
+	c.hits++
+	c.mu.Unlock()
+}
+
+func (c *counter) bumpDeferred() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits++
+}
+
+func (c *counter) peek() int {
+	return c.hits // want "field counter.hits is guarded by mu"
+}
+
+// peekLocked: the *Locked suffix asserts the caller holds the lock.
+func (c *counter) peekLocked() int {
+	return c.hits
+}
+
+func (c *counter) label() string {
+	return c.name // unheld-majority field: not inferred, no finding
+}
+
+// newCounter writes fields of a value it just constructed: exempt, the
+// value has not escaped yet.
+func newCounter(n string) *counter {
+	c := &counter{}
+	c.hits = 0
+	c.name = n
+	return c
+}
+
+// earlyExit reproduces the unlock-then-return idiom: the nested Unlock
+// before an early return must not end the lock region on the
+// fall-through path, so the second access is still held.
+func (c *counter) earlyExit(stop bool) int {
+	c.mu.Lock()
+	if stop {
+		v := c.hits
+		c.mu.Unlock()
+		return v
+	}
+	c.hits++
+	c.mu.Unlock()
+	return 0
+}
+
+// annotated opts its field in explicitly; a single unheld access is
+// enough to fire (no majority needed).
+type annotated struct {
+	mu  sync.Mutex
+	val int //gridvolint:guards mu
+}
+
+func readVal(a *annotated) int {
+	return a.val // want "field annotated.val is guarded by mu"
+}
+
+func writeVal(a *annotated, v int) {
+	a.mu.Lock()
+	a.val = v
+	a.mu.Unlock()
+}
+
+// badDirectives: directives naming a missing or non-mutex guard are
+// findings themselves.
+type badDirectives struct {
+	mu sync.Mutex
+	a  int //gridvolint:guards nosuchfield // want "malformed guards directive"
+	b  int //gridvolint:guards a // want "malformed guards directive"
+}
